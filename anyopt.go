@@ -1,0 +1,344 @@
+// Package anyopt predicts and optimizes IP anycast performance, reproducing
+// the system from "AnyOpt: Predicting and Optimizing IP Anycast Performance"
+// (SIGCOMM 2021).
+//
+// AnyOpt discovers, with O(n²) pairwise BGP experiments instead of O(2ⁿ)
+// full deployments, how every client network ranks an anycast network's
+// sites; it then predicts the catchment of any site subset and solves a
+// plant-location problem to find the subset with the lowest mean client
+// latency.
+//
+// This package is the high-level facade. A System bundles a synthetic
+// Internet (topology + event-driven BGP with the arrival-order tie-breaker),
+// the paper's 15-site testbed, the Verfploeter-style measurement plane, and
+// the discovery → prediction → optimization pipeline:
+//
+//	sys, _ := anyopt.New(anyopt.DefaultOptions())
+//	_ = sys.RunDiscovery()
+//	res, _ := sys.Optimize(12, 0)
+//	fmt.Println(res.Config, res.PredictedMean)
+//
+// The heavy lifting lives in the internal packages: internal/bgp (routing
+// simulator), internal/topology (Internet generator), internal/testbed and
+// internal/probe (measurement plane), internal/core/* (preferences,
+// discovery, prediction, SPLPO optimization, peering heuristic).
+package anyopt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"anyopt/internal/core/discovery"
+	"anyopt/internal/core/peering"
+	"anyopt/internal/core/predict"
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/core/splpo"
+	"anyopt/internal/testbed"
+	"anyopt/internal/topology"
+)
+
+// Client identifies a client network by its AS number.
+type Client = prefs.Client
+
+// Config is an anycast configuration: site IDs in announcement order.
+type Config = predict.Config
+
+// Options configures a System.
+type Options struct {
+	// Topology generates the synthetic Internet.
+	Topology topology.Params
+	// Testbed deploys the anycast network (defaults to the paper's Table 1).
+	Testbed testbed.Options
+	// Discovery drives the measurement campaign.
+	Discovery discovery.Config
+	// UseRTTHeuristic replaces intra-AS pairwise experiments with the §4.3
+	// RTT heuristic (required for large networks).
+	UseRTTHeuristic bool
+}
+
+// DefaultOptions reproduces the paper's testbed at unit-test-friendly scale.
+func DefaultOptions() Options {
+	return Options{
+		Topology:  topology.TestParams(),
+		Testbed:   testbed.Options{Seed: 1},
+		Discovery: discovery.DefaultConfig(),
+	}
+}
+
+// PaperScaleOptions sizes the synthetic Internet closer to the paper's
+// measurement population (thousands of client networks).
+func PaperScaleOptions() Options {
+	o := DefaultOptions()
+	o.Topology = topology.DefaultParams()
+	return o
+}
+
+// System is an anycast network under AnyOpt management.
+type System struct {
+	Topo *topology.Topology
+	TB   *testbed.Testbed
+	Disc *discovery.Discovery
+
+	// Pred and RTT are populated by RunDiscovery.
+	Pred *predict.Predictor
+	RTT  *discovery.RTTTable
+	// AnnOrder is the provider announcement order that maximizes clients
+	// with total orders (§4.5 step 3), chosen during RunDiscovery.
+	AnnOrder []prefs.Item
+
+	opts Options
+}
+
+// New builds the synthetic Internet and deploys the testbed on it.
+func New(opts Options) (*System, error) {
+	topo, err := topology.Generate(opts.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("anyopt: generating topology: %w", err)
+	}
+	tb, err := testbed.New(topo, opts.Testbed)
+	if err != nil {
+		return nil, fmt.Errorf("anyopt: deploying testbed: %w", err)
+	}
+	return &System{
+		Topo: topo,
+		TB:   tb,
+		Disc: discovery.New(tb, opts.Discovery),
+		opts: opts,
+	}, nil
+}
+
+// RunDiscovery executes the full measurement campaign (§4.5 steps 1–2):
+// singleton RTT experiments, order-controlled provider-level pairwise
+// experiments, and (unless UseRTTHeuristic) intra-AS site-level experiments.
+// It then fixes the announcement order that maximizes orderable clients.
+func (s *System) RunDiscovery() error {
+	pred, rtt, err := predict.NewPredictor(s.TB, s.Disc, s.opts.UseRTTHeuristic)
+	if err != nil {
+		return fmt.Errorf("anyopt: discovery: %w", err)
+	}
+	s.Pred, s.RTT = pred, rtt
+	order, _ := pred.Providers.BestAnnouncementOrder(7)
+	s.AnnOrder = order
+	return nil
+}
+
+// requireDiscovery guards methods that need RunDiscovery first.
+func (s *System) requireDiscovery() error {
+	if s.Pred == nil {
+		return fmt.Errorf("anyopt: RunDiscovery has not been executed")
+	}
+	return nil
+}
+
+// PredictCatchments predicts each client's catchment site under cfg.
+func (s *System) PredictCatchments(cfg Config) (map[Client]int, error) {
+	if err := s.requireDiscovery(); err != nil {
+		return nil, err
+	}
+	return s.Pred.All(cfg), nil
+}
+
+// PredictMeanRTT predicts the mean client RTT of cfg and returns the number
+// of predictable clients.
+func (s *System) PredictMeanRTT(cfg Config) (time.Duration, int, error) {
+	if err := s.requireDiscovery(); err != nil {
+		return 0, 0, err
+	}
+	mean, n := s.Pred.MeanRTT(cfg)
+	return mean, n, nil
+}
+
+// MeasureConfiguration deploys cfg on a fresh experiment and measures every
+// target's catchment and RTT — ground truth for validating predictions.
+func (s *System) MeasureConfiguration(cfg Config) (map[Client]int, map[Client]time.Duration) {
+	return s.Disc.RunConfigurationRTTs(cfg)
+}
+
+// OptimizeResult is the outcome of an offline configuration search.
+type OptimizeResult struct {
+	// Config is the chosen configuration in deployable announcement order.
+	Config Config
+	// PredictedMean is the optimizer's predicted mean client RTT.
+	PredictedMean time.Duration
+	// SubsetsEvaluated counts configurations examined.
+	SubsetsEvaluated int
+	// OrderableClients is the number of clients in the optimization.
+	OrderableClients int
+}
+
+// Optimize searches for the lowest-predicted-latency configuration with
+// exactly k sites (k = 0 searches all sizes). maxSubsets bounds the
+// enumeration, mirroring the paper's offline time budget; 0 is unlimited.
+// Networks with more than 20 sites use local search automatically.
+func (s *System) Optimize(k, maxSubsets int) (OptimizeResult, error) {
+	if err := s.requireDiscovery(); err != nil {
+		return OptimizeResult{}, err
+	}
+	in, clients := s.Pred.BuildInstance(s.AnnOrder)
+	opts := splpo.Options{ExactSize: k, MaxSubsets: maxSubsets}
+	var (
+		best      splpo.Assignment
+		evaluated int
+		err       error
+	)
+	if in.NumSites > 20 {
+		seed := uint64(1)<<uint(min(k, 20)) - 1
+		best, err = splpo.LocalSearch(in, seed, opts, 0)
+		evaluated = -1
+	} else {
+		best, evaluated, err = splpo.Exhaustive(in, opts)
+	}
+	if err != nil {
+		return OptimizeResult{}, fmt.Errorf("anyopt: optimize: %w", err)
+	}
+	return OptimizeResult{
+		Config:           s.Pred.SubsetToConfig(best.Subset, s.AnnOrder),
+		PredictedMean:    time.Duration(best.MeanCost * float64(time.Millisecond)),
+		SubsetsEvaluated: evaluated,
+		OrderableClients: len(clients),
+	}, nil
+}
+
+// OptimizeExcluding is Optimize restricted to subsets that avoid the given
+// sites — the operational case of §1's "regular maintenance": a site is
+// down, and the saved campaign re-optimizes the rest offline.
+func (s *System) OptimizeExcluding(k, maxSubsets int, exclude ...int) (OptimizeResult, error) {
+	if err := s.requireDiscovery(); err != nil {
+		return OptimizeResult{}, err
+	}
+	var forbidden uint64
+	for _, id := range exclude {
+		if id < 1 || id > len(s.TB.Sites) {
+			return OptimizeResult{}, fmt.Errorf("anyopt: cannot exclude unknown site %d", id)
+		}
+		forbidden |= 1 << uint(id-1)
+	}
+	in, clients := s.Pred.BuildInstance(s.AnnOrder)
+	opts := splpo.Options{ExactSize: k, MaxSubsets: maxSubsets, ForbiddenMask: forbidden}
+	best, evaluated, err := splpo.Exhaustive(in, opts)
+	if err != nil {
+		return OptimizeResult{}, fmt.Errorf("anyopt: optimize excluding %v: %w", exclude, err)
+	}
+	return OptimizeResult{
+		Config:           s.Pred.SubsetToConfig(best.Subset, s.AnnOrder),
+		PredictedMean:    time.Duration(best.MeanCost * float64(time.Millisecond)),
+		SubsetsEvaluated: evaluated,
+		OrderableClients: len(clients),
+	}, nil
+}
+
+// OptimizeLoadAware is Optimize with the Appendix B extensions: loads
+// assigns each client a demand (defaulting to 1) that weights its RTT
+// contribution and counts against capacity; caps limits the total load a
+// site may absorb (site ID → capacity). Only feasible configurations — every
+// client served, no site over capacity — are considered.
+func (s *System) OptimizeLoadAware(k, maxSubsets int, loads map[Client]float64, caps map[int]float64) (OptimizeResult, error) {
+	if err := s.requireDiscovery(); err != nil {
+		return OptimizeResult{}, err
+	}
+	in, clients := s.Pred.BuildInstanceWeighted(s.AnnOrder, loads, caps)
+	opts := splpo.Options{ExactSize: k, MaxSubsets: maxSubsets, RequireFeasible: true}
+	var (
+		best      splpo.Assignment
+		evaluated int
+		err       error
+	)
+	if in.NumSites > 20 {
+		seed := uint64(1)<<uint(min(max(k, 1), 20)) - 1
+		best, err = splpo.LocalSearch(in, seed, opts, 0)
+		evaluated = -1
+	} else {
+		best, evaluated, err = splpo.Exhaustive(in, opts)
+	}
+	if err != nil {
+		return OptimizeResult{}, fmt.Errorf("anyopt: load-aware optimize: %w", err)
+	}
+	return OptimizeResult{
+		Config:           s.Pred.SubsetToConfig(best.Subset, s.AnnOrder),
+		PredictedMean:    time.Duration(best.MeanCost * float64(time.Millisecond)),
+		SubsetsEvaluated: evaluated,
+		OrderableClients: len(clients),
+	}, nil
+}
+
+// PredictSiteLoads predicts the load each site absorbs under cfg, using the
+// given per-client demands (default 1).
+func (s *System) PredictSiteLoads(cfg Config, loads map[Client]float64) (map[int]float64, error) {
+	catch, err := s.PredictCatchments(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64)
+	for c, site := range catch {
+		l := 1.0
+		if loads != nil {
+			if v, ok := loads[c]; ok {
+				l = v
+			}
+		}
+		out[site] += l
+	}
+	return out, nil
+}
+
+// GreedyConfig returns the baseline configuration of the k sites with the
+// lowest mean unicast RTT (§5.3's "k-Greedy").
+func (s *System) GreedyConfig(k int) (Config, error) {
+	if err := s.requireDiscovery(); err != nil {
+		return nil, err
+	}
+	in, _ := s.Pred.BuildInstance(s.AnnOrder)
+	a, err := splpo.GreedyByCost(in, k)
+	if err != nil {
+		return nil, err
+	}
+	return s.Pred.SubsetToConfig(a.Subset, s.AnnOrder), nil
+}
+
+// RandomConfig returns a uniformly random k-site configuration.
+func (s *System) RandomConfig(k int, rng *rand.Rand) (Config, error) {
+	if err := s.requireDiscovery(); err != nil {
+		return nil, err
+	}
+	ids := rng.Perm(len(s.TB.Sites))[:k]
+	var subset uint64
+	for _, i := range ids {
+		subset |= 1 << uint(i)
+	}
+	return s.Pred.SubsetToConfig(subset, s.AnnOrder), nil
+}
+
+// AllSitesConfig returns the configuration enabling every site.
+func (s *System) AllSitesConfig() Config {
+	var subset uint64
+	for _, site := range s.TB.Sites {
+		subset |= 1 << uint(site.ID-1)
+	}
+	if s.Pred != nil {
+		return s.Pred.SubsetToConfig(subset, s.AnnOrder)
+	}
+	cfg := make(Config, len(s.TB.Sites))
+	for i, site := range s.TB.Sites {
+		cfg[i] = site.ID
+	}
+	return cfg
+}
+
+// AllPeerLinks lists every peering link of the testbed in site order.
+func (s *System) AllPeerLinks() []topology.LinkID {
+	var out []topology.LinkID
+	for _, site := range s.TB.Sites {
+		out = append(out, site.PeerLinks...)
+	}
+	return out
+}
+
+// OnePassPeering runs the §4.4 one-pass campaign over the given peering
+// links on top of base.
+func (s *System) OnePassPeering(base Config, peers []topology.LinkID) *peering.Result {
+	return peering.OnePass(s.Disc, base, peers)
+}
+
+// Experiments reports the number of BGP experiments run so far.
+func (s *System) Experiments() int { return s.Disc.Experiments }

@@ -1,0 +1,287 @@
+// Command anyopt drives the AnyOpt pipeline from the shell: discover client
+// preferences on the simulated testbed, predict configurations, search for
+// the lowest-latency configuration, and evaluate peering links.
+//
+//	anyopt table1                     show the testbed (Table 1)
+//	anyopt discover                   run the measurement campaign, print a summary
+//	anyopt predict -config 1,3,5      predict a configuration and validate it
+//	anyopt optimize -k 12             offline search + baselines
+//	anyopt peers -k 12 -max 30        one-pass peering evaluation
+//
+// Global flags (before the subcommand): -scale test|paper, -seed N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"anyopt"
+	"anyopt/internal/analysis"
+	"anyopt/internal/bgp"
+	"anyopt/internal/campaign"
+	"anyopt/internal/core/predict"
+	"anyopt/internal/experiments"
+	"anyopt/internal/topology"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: anyopt [-scale test|paper] [-seed N] <command> [args]
+
+commands:
+  table1      print the testbed layout
+  discover    run the full measurement campaign and summarize it
+  predict     predict a configuration (-config 1,3,5) and validate by deployment
+  optimize    find the best configuration (-k sites, 0 = any size; -budget subsets)
+  peers       one-pass peering evaluation on top of the optimum (-k, -max links)
+  trace       explain a client's routing toward a configuration (-config, -client ASN)
+  breakdown   count which BGP attribute decides each client's catchment (-config)
+`)
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("anyopt: ")
+	scale := flag.String("scale", "test", "topology scale: test or paper")
+	seed := flag.Int64("seed", 1, "topology seed")
+	campaignFile := flag.String("campaign", "", "load discovery results from this snapshot instead of re-measuring")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	env, err := experiments.NewEnv(*scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := env.Sys
+	if *campaignFile != "" {
+		f, err := os.Open(*campaignFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := campaign.Load(f, sys); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		env.MarkDiscovered()
+		fmt.Printf("loaded campaign from %s\n", *campaignFile)
+	}
+
+	switch cmd {
+	case "table1":
+		fmt.Print(env.Table1())
+
+	case "discover":
+		fs := flag.NewFlagSet("discover", flag.ExitOnError)
+		saveTo := fs.String("save", "", "write the campaign snapshot to this file")
+		fs.Parse(args)
+		start := time.Now()
+		if err := env.Discover(); err != nil {
+			log.Fatal(err)
+		}
+		if *saveTo != "" {
+			f, err := os.Create(*saveTo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := campaign.Save(f, sys); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("campaign saved to %s\n", *saveTo)
+		}
+		fmt.Printf("topology: %v\n", sys.Topo.ComputeStats())
+		fmt.Printf("experiments: %d BGP runs, %d probes, %v wall time\n",
+			sys.Experiments(), sys.Disc.ProbesSent, time.Since(start).Round(time.Millisecond))
+		order, frac := sys.Pred.Providers.BestAnnouncementOrder(7)
+		fmt.Printf("best announcement order: %v (%.1f%% of clients orderable)\n", order, 100*frac)
+		tab := analysis.NewTable("per-site mean unicast RTT", "site", "name", "mean RTT")
+		for _, s := range sys.TB.Sites {
+			tab.AddRow(s.ID, s.Name, sys.RTT.MeanUnicast(s.ID))
+		}
+		fmt.Print(tab)
+
+	case "predict":
+		fs := flag.NewFlagSet("predict", flag.ExitOnError)
+		cfgStr := fs.String("config", "", "comma-separated site IDs in announcement order")
+		fs.Parse(args)
+		cfg, err := parseConfig(*cfgStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := env.Discover(); err != nil {
+			log.Fatal(err)
+		}
+		predicted, err := sys.PredictCatchments(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predMean, n, err := sys.PredictMeanRTT(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measured, rtts := sys.MeasureConfiguration(cfg)
+		acc, overlap := predict.Accuracy(predicted, measured)
+		measMean, _ := predict.MeasuredMeanRTT(rtts)
+		fmt.Printf("config %v\n", cfg)
+		fmt.Printf("  predictable clients: %d (%.1f%%)\n", n, 100*sys.Pred.FracPredictable(cfg))
+		fmt.Printf("  catchment accuracy vs deployment: %.1f%% over %d clients\n", 100*acc, overlap)
+		fmt.Printf("  mean RTT: predicted %v, measured %v (rel err %.1f%%)\n",
+			predMean.Round(10*time.Microsecond), measMean.Round(10*time.Microsecond),
+			100*analysis.RelErr(float64(predMean), float64(measMean)))
+
+	case "optimize":
+		fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+		k := fs.Int("k", 12, "number of sites (0 = any size)")
+		budget := fs.Int("budget", 0, "max subsets to evaluate (0 = all)")
+		fs.Parse(args)
+		if err := env.Discover(); err != nil {
+			log.Fatal(err)
+		}
+		opt, err := sys.Optimize(*k, *budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("optimum: %v (predicted mean %v, %d subsets, %d orderable clients)\n",
+			opt.Config, opt.PredictedMean.Round(10*time.Microsecond), opt.SubsetsEvaluated, opt.OrderableClients)
+		_, rtts := sys.MeasureConfiguration(opt.Config)
+		mean, _ := predict.MeasuredMeanRTT(rtts)
+		fmt.Printf("deployed mean: %v\n", mean.Round(10*time.Microsecond))
+		if *k > 0 {
+			greedy, err := sys.GreedyConfig(*k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, gr := sys.MeasureConfiguration(greedy)
+			gm, _ := predict.MeasuredMeanRTT(gr)
+			fmt.Printf("greedy-%d baseline %v → deployed mean %v\n", *k, greedy, gm.Round(10*time.Microsecond))
+		}
+
+	case "peers":
+		fs := flag.NewFlagSet("peers", flag.ExitOnError)
+		k := fs.Int("k", 12, "transit-only configuration size")
+		max := fs.Int("max", 0, "probe only the first N peering links (0 = all)")
+		fs.Parse(args)
+		if err := env.Discover(); err != nil {
+			log.Fatal(err)
+		}
+		opt, err := sys.Optimize(*k, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers := sys.AllPeerLinks()
+		if *max > 0 && *max < len(peers) {
+			peers = peers[:*max]
+		}
+		res := sys.OnePassPeering(opt.Config, peers)
+		fmt.Printf("base config %v, baseline mean %v\n", opt.Config, res.BaselineMean.Round(10*time.Microsecond))
+		fmt.Printf("peers probed %d: reachable %d, beneficial %d, included %d\n",
+			len(res.Reports), res.ReachableCount(), res.BeneficialCount(), len(res.Included))
+		fmt.Printf("estimated mean with included peers: %v\n", res.EstimatedMean.Round(10*time.Microsecond))
+
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		cfgStr := fs.String("config", "", "comma-separated site IDs in announcement order")
+		clientASN := fs.Int64("client", 0, "client AS number (0 = first target)")
+		fs.Parse(args)
+		cfg, err := parseConfig(*cfgStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := deploy(env, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tg, err := pickTarget(env, *clientASN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp, ok := sim.Explain(0, tg)
+		if !ok {
+			log.Fatalf("client AS%d has no route to the prefix", tg.AS)
+		}
+		site := sys.TB.SiteByLink(exp.EntryLink)
+		fmt.Printf("catchment: site %d (%s)\n%s", site.ID, site.Name, exp)
+
+	case "breakdown":
+		fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+		cfgStr := fs.String("config", "", "comma-separated site IDs in announcement order")
+		fs.Parse(args)
+		cfg, err := parseConfig(*cfgStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := deploy(env, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd := sim.DecisiveBreakdown(0, sys.Topo.Targets)
+		type row struct {
+			step bgp.DecisionStep
+			n    int
+		}
+		var rows []row
+		total := 0
+		for step, n := range bd {
+			rows = append(rows, row{step, n})
+			total += n
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+		fmt.Printf("decisive BGP attribute per client (config %v, %d clients):\n", cfg, total)
+		for _, r := range rows {
+			fmt.Printf("  %-28s %6d (%.1f%%)\n", r.step, r.n, 100*float64(r.n)/float64(total))
+		}
+
+	default:
+		usage()
+	}
+}
+
+// deploy announces cfg on a fresh simulation with the standard spacing.
+func deploy(env *experiments.Env, cfg anyopt.Config) (*bgp.Sim, error) {
+	if len(cfg) == 0 {
+		return nil, fmt.Errorf("missing -config")
+	}
+	sim := bgp.New(env.Sys.Topo, bgp.DefaultConfig())
+	dep := env.Sys.TB.NewDeployment(sim, 0)
+	dep.AnnounceSites(cfg...)
+	return sim, nil
+}
+
+// pickTarget resolves a client ASN (or the first target when 0).
+func pickTarget(env *experiments.Env, asn int64) (topology.Target, error) {
+	targets := env.Sys.Topo.Targets
+	if asn == 0 {
+		return targets[0], nil
+	}
+	for _, tg := range targets {
+		if int64(tg.AS) == asn {
+			return tg, nil
+		}
+	}
+	return topology.Target{}, fmt.Errorf("AS%d is not a measurement target", asn)
+}
+
+func parseConfig(s string) (anyopt.Config, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("missing -config")
+	}
+	var cfg anyopt.Config
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad site id %q", part)
+		}
+		cfg = append(cfg, id)
+	}
+	return cfg, nil
+}

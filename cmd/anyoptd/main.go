@@ -1,0 +1,63 @@
+// Command anyoptd serves the AnyOpt pipeline over a JSON HTTP API (see
+// internal/api for the endpoint list):
+//
+//	anyoptd -listen 127.0.0.1:8080
+//	curl -s localhost:8080/v1/testbed
+//	curl -s -X POST localhost:8080/v1/discover
+//	curl -s 'localhost:8080/v1/optimize?k=12'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"anyopt"
+	"anyopt/internal/api"
+	"anyopt/internal/campaign"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("anyoptd: ")
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8080", "address to serve on")
+		scale        = flag.String("scale", "test", "topology scale: test or paper")
+		seed         = flag.Int64("seed", 1, "topology seed")
+		campaignFile = flag.String("campaign", "", "preload discovery results from this snapshot")
+	)
+	flag.Parse()
+
+	opts := anyopt.DefaultOptions()
+	if *scale == "paper" {
+		opts = anyopt.PaperScaleOptions()
+	}
+	opts.Topology.Seed = *seed
+	opts.Testbed.Seed = *seed
+
+	sys, err := anyopt.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *campaignFile != "" {
+		f, err := os.Open(*campaignFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := campaign.Load(f, sys); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("campaign loaded from %s", *campaignFile)
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           api.NewServer(sys).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving %v on http://%s (scale=%s seed=%d)", sys.Topo.ComputeStats(), *listen, *scale, *seed)
+	log.Fatal(srv.ListenAndServe())
+}

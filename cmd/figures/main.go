@@ -1,0 +1,112 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (§5) against the simulated testbed and prints them as text
+// tables and CDF series.
+//
+//	go run ./cmd/figures                  # everything, test scale
+//	go run ./cmd/figures -scale paper     # full-size client population
+//	go run ./cmd/figures -only fig6,fig7  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"anyopt/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		scale   = flag.String("scale", "test", "topology scale: test or paper")
+		seed    = flag.Int64("seed", 1, "topology seed")
+		only    = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig4c,fig5,fig6,fig7,sec45,repstab,stability,ablations")
+		configs = flag.Int("configs", 38, "number of random configurations for Figure 5")
+		churn   = flag.Float64("churn", 0.01, "inter-experiment churn fraction for Figure 5")
+		k       = flag.Int("k", 12, "configuration size for Figures 6 and 7")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	enabled := func(name string) bool { return len(want) == 0 || want[name] }
+
+	env, err := experiments.NewEnv(*scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# AnyOpt evaluation — scale=%s seed=%d\n", *scale, *seed)
+	fmt.Printf("# topology: %v\n\n", env.Sys.Topo.ComputeStats())
+
+	section := func(name string, run func() (string, error)) {
+		if !enabled(name) {
+			return
+		}
+		start := time.Now()
+		out, err := run()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v, %d experiments total]\n\n", name, time.Since(start).Round(time.Millisecond), env.Sys.Experiments())
+	}
+
+	section("table1", func() (string, error) { return env.Table1(), nil })
+	section("fig4a", func() (string, error) { return env.Fig4a().Render(), nil })
+	section("fig4b", func() (string, error) {
+		r, err := env.Fig4b()
+		return r.Render(), err
+	})
+	section("fig4c", func() (string, error) {
+		r, err := env.Fig4c(nil)
+		return r.Render(), err
+	})
+	section("fig5", func() (string, error) {
+		r, err := env.Fig5(*configs, *churn)
+		return r.Render(), err
+	})
+	section("fig6", func() (string, error) {
+		r, err := env.Fig6(*k)
+		return r.Render(), err
+	})
+	section("fig7", func() (string, error) {
+		r, err := env.Fig7(*k)
+		return r.Render(), err
+	})
+	section("sec45", func() (string, error) { return experiments.Sec45Schedule(), nil })
+	section("repstab", func() (string, error) {
+		r, err := env.RepresentativeStability()
+		return r.Render(), err
+	})
+	section("stability", func() (string, error) {
+		r, err := env.Stability(*k, 3, 0.04)
+		return r.Render(), err
+	})
+	section("ablations", func() (string, error) {
+		var b strings.Builder
+		a1, err := env.AblationArrivalOrder()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(a1.Render())
+		b.WriteString(env.AblationTwoLevel().Render())
+		a3, err := env.AblationRTTHeuristic()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(a3.Render())
+		a4, err := env.AblationSolvers(6)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(a4.Render())
+		return b.String(), nil
+	})
+}

@@ -1,0 +1,93 @@
+// Quickstart: build the paper's 15-site testbed on a synthetic Internet, run
+// the full AnyOpt discovery campaign, predict a configuration's catchments,
+// and find the lowest-latency 12-site configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anyopt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Synthetic Internet + Table 1 testbed (15 sites, 6 tier-1 transits,
+	//    104 peering links).
+	sys, err := anyopt.New(anyopt.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %v\n", sys.Topo.ComputeStats())
+	fmt.Printf("testbed: %d sites, %d transit providers, %d peering links\n",
+		len(sys.TB.Sites), len(sys.TB.TransitProviders()), sys.TB.PeerLinkCount())
+
+	// 2. Discovery: singleton RTT experiments + order-controlled pairwise
+	//    preference elicitation (§3, §4.3).
+	if err := sys.RunDiscovery(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovery: %d BGP experiments, %d probes\n",
+		sys.Experiments(), sys.Disc.ProbesSent)
+
+	// 3. Predict a configuration and validate against a real deployment.
+	cfg := anyopt.Config{1, 3, 4, 5, 6, 10} // one site per transit provider
+	predicted, err := sys.PredictCatchments(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predMean, n, err := sys.PredictMeanRTT(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, rtts := sys.MeasureConfiguration(cfg)
+	match, overlap := 0, 0
+	for c, p := range predicted {
+		if m, ok := measured[c]; ok {
+			overlap++
+			if p == m {
+				match++
+			}
+		}
+	}
+	var measMean float64
+	for _, d := range rtts {
+		measMean += float64(d)
+	}
+	measMean /= float64(len(rtts))
+	fmt.Printf("config %v:\n", cfg)
+	fmt.Printf("  catchment prediction accuracy: %.1f%% over %d clients\n",
+		100*float64(match)/float64(overlap), overlap)
+	fmt.Printf("  mean RTT: predicted %v for %d clients, measured %.1fms\n",
+		predMean.Round(100_000), n, measMean/1e6)
+
+	// 4. Offline optimization: best 12-site configuration (§5.3).
+	opt, err := sys.Optimize(12, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := sys.GreedyConfig(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, optRTTs := sys.MeasureConfiguration(opt.Config)
+	_, greedyRTTs := sys.MeasureConfiguration(greedy)
+	fmt.Printf("optimization over %d subsets, %d orderable clients:\n",
+		opt.SubsetsEvaluated, opt.OrderableClients)
+	fmt.Printf("  AnyOpt-12 %v → measured mean %.1fms\n", opt.Config, meanMs(optRTTs))
+	fmt.Printf("  Greedy-12 %v → measured mean %.1fms\n", greedy, meanMs(greedyRTTs))
+}
+
+func meanMs[K comparable, D ~int64](m map[K]D) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	var s float64
+	for _, d := range m {
+		s += float64(d)
+	}
+	return s / float64(len(m)) / 1e6
+}

@@ -1,0 +1,3 @@
+module anyopt
+
+go 1.22

@@ -1,0 +1,281 @@
+// Package api exposes an AnyOpt system over a JSON HTTP API, for operators
+// who drive the pipeline from dashboards or scripts rather than the CLI.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/testbed                     testbed layout (Table 1)
+//	POST /v1/discover                    run the measurement campaign
+//	GET  /v1/predict?config=1,3,5        catchment + mean-RTT prediction
+//	GET  /v1/measure?config=1,3,5        deploy and measure (ground truth)
+//	GET  /v1/optimize?k=12&budget=0&exclude=2,7
+//	GET  /v1/schedule?sites=500&providers=20&prefixes=4
+//	GET  /v1/campaign                    export the campaign snapshot
+//	POST /v1/campaign                    import a campaign snapshot
+//
+// Discovery runs can take a while; they execute synchronously and the
+// server serializes all system access, so the API is safe for concurrent
+// clients without the System itself being thread-safe.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"anyopt"
+	"anyopt/internal/campaign"
+	"anyopt/internal/core/discovery"
+	"anyopt/internal/core/predict"
+)
+
+// Server wraps a System with HTTP handlers.
+type Server struct {
+	mu  sync.Mutex
+	sys *anyopt.System
+}
+
+// NewServer builds a server around sys.
+func NewServer(sys *anyopt.System) *Server {
+	return &Server{sys: sys}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/testbed", s.handleTestbed)
+	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/measure", s.handleMeasure)
+	mux.HandleFunc("GET /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("GET /v1/campaign", s.handleCampaignExport)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaignImport)
+	return mux
+}
+
+// httpError is the error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseConfig reads the config query parameter.
+func parseConfig(r *http.Request) (anyopt.Config, error) {
+	raw := r.URL.Query().Get("config")
+	if raw == "" {
+		return nil, fmt.Errorf("missing config parameter")
+	}
+	var cfg anyopt.Config
+	for _, part := range strings.Split(raw, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad site id %q", part)
+		}
+		cfg = append(cfg, id)
+	}
+	return cfg, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter %q", name, raw)
+	}
+	return v, nil
+}
+
+type siteJSON struct {
+	ID        int     `json:"id"`
+	City      string  `json:"city"`
+	Transit   string  `json:"transit"`
+	Peers     int     `json:"peers"`
+	TunnelRTT float64 `json:"tunnel_rtt_ms"`
+}
+
+func (s *Server) handleTestbed(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sites []siteJSON
+	for _, site := range s.sys.TB.Sites {
+		sites = append(sites, siteJSON{
+			ID: site.ID, City: site.City, Transit: site.TransitName,
+			Peers: len(site.PeerLinks), TunnelRTT: float64(site.TunnelRTT) / 1e6,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sites":   sites,
+		"targets": len(s.sys.Topo.Targets),
+	})
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	if err := s.sys.RunDiscovery(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "discovery: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments": s.sys.Experiments(),
+		"probes":      s.sys.Disc.ProbesSent,
+		"elapsed_ms":  time.Since(start).Milliseconds(),
+		"ann_order":   s.sys.AnnOrder,
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg, err := parseConfig(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	catch, err := s.sys.PredictCatchments(cfg)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	mean, n, err := s.sys.PredictMeanRTT(cfg)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	perSite := map[string]int{}
+	for _, site := range catch {
+		perSite[strconv.Itoa(site)]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"config":        cfg,
+		"mean_rtt_ms":   float64(mean) / 1e6,
+		"predictable":   n,
+		"catchment_szs": perSite,
+	})
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg, err := parseConfig(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	catch, rtts := s.sys.MeasureConfiguration(cfg)
+	mean, n := predict.MeasuredMeanRTT(rtts)
+	perSite := map[string]int{}
+	for _, site := range catch {
+		perSite[strconv.Itoa(site)]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"config":        cfg,
+		"mean_rtt_ms":   float64(mean) / 1e6,
+		"measured":      n,
+		"catchment_szs": perSite,
+	})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, err := intParam(r, "k", 12)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	budget, err := intParam(r, "budget", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var exclude []int
+	if raw := r.URL.Query().Get("exclude"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad exclude id %q", part)
+				return
+			}
+			exclude = append(exclude, id)
+		}
+	}
+	var res anyopt.OptimizeResult
+	if len(exclude) > 0 {
+		res, err = s.sys.OptimizeExcluding(k, budget, exclude...)
+	} else {
+		res, err = s.sys.Optimize(k, budget)
+	}
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"config":            res.Config,
+		"predicted_mean_ms": float64(res.PredictedMean) / 1e6,
+		"subsets":           res.SubsetsEvaluated,
+		"orderable_clients": res.OrderableClients,
+	})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	sites, err := intParam(r, "sites", 500)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	providers, err := intParam(r, "providers", 20)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prefixes, err := intParam(r, "prefixes", 4)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan := discovery.PlanTransitOnly(sites, providers, prefixes, true)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"singleton_experiments": plan.SingletonExperiments,
+		"pairwise_experiments":  plan.PairwiseExperiments,
+		"singleton_hours":       plan.SingletonHours(),
+		"pairwise_hours":        plan.PairwiseHours(),
+		"total_days":            plan.TotalDays(),
+	})
+}
+
+func (s *Server) handleCampaignExport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := campaign.Save(w, s.sys); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+	}
+}
+
+func (s *Server) handleCampaignImport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := campaign.Load(r.Body, s.sys); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"loaded": true})
+}

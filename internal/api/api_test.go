@@ -1,0 +1,235 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"anyopt"
+)
+
+// testServer builds a server over a fresh (undiscovered) system.
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	sys, err := anyopt.New(anyopt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sys)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// discoveredServer caches one discovered system for the expensive paths.
+var sharedTS *httptest.Server
+
+func discoveredServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	if sharedTS != nil {
+		return sharedTS
+	}
+	sys, err := anyopt.New(anyopt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	sharedTS = httptest.NewServer(NewServer(sys).Handler())
+	return sharedTS
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestTestbedEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var got struct {
+		Sites []struct {
+			ID      int    `json:"id"`
+			City    string `json:"city"`
+			Transit string `json:"transit"`
+			Peers   int    `json:"peers"`
+		} `json:"sites"`
+		Targets int `json:"targets"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/testbed", &got); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Sites) != 15 || got.Targets == 0 {
+		t.Fatalf("testbed: %+v", got)
+	}
+	if got.Sites[3].City != "Singapore" || got.Sites[3].Peers != 15 {
+		t.Errorf("site 4 = %+v", got.Sites[3])
+	}
+}
+
+func TestPredictRequiresDiscovery(t *testing.T) {
+	_, ts := testServer(t)
+	if code := getJSON(t, ts.URL+"/v1/predict?config=1,4", nil); code != http.StatusConflict {
+		t.Errorf("status %d, want 409 before discovery", code)
+	}
+}
+
+func TestDiscoverPredictOptimizeFlow(t *testing.T) {
+	ts := discoveredServer(t)
+
+	var pred struct {
+		MeanRTTms   float64        `json:"mean_rtt_ms"`
+		Predictable int            `json:"predictable"`
+		Catchments  map[string]int `json:"catchment_szs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/predict?config=1,4,6", &pred); code != 200 {
+		t.Fatalf("predict status %d", code)
+	}
+	if pred.MeanRTTms <= 0 || pred.Predictable < 100 {
+		t.Fatalf("predict: %+v", pred)
+	}
+	for site := range pred.Catchments {
+		if site != "1" && site != "4" && site != "6" {
+			t.Errorf("catchment at unexpected site %s", site)
+		}
+	}
+
+	var meas struct {
+		MeanRTTms float64 `json:"mean_rtt_ms"`
+		Measured  int     `json:"measured"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/measure?config=1,4,6", &meas); code != 200 {
+		t.Fatalf("measure status %d", code)
+	}
+	rel := (pred.MeanRTTms - meas.MeanRTTms) / meas.MeanRTTms
+	if rel < -0.15 || rel > 0.15 {
+		t.Errorf("prediction %0.1f vs measurement %0.1f diverge", pred.MeanRTTms, meas.MeanRTTms)
+	}
+
+	var opt struct {
+		Config  []int   `json:"config"`
+		Mean    float64 `json:"predicted_mean_ms"`
+		Subsets int     `json:"subsets"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/optimize?k=6", &opt); code != 200 {
+		t.Fatalf("optimize status %d", code)
+	}
+	if len(opt.Config) != 6 || opt.Mean <= 0 {
+		t.Fatalf("optimize: %+v", opt)
+	}
+
+	// Exclusion is honored.
+	excluded := opt.Config[0]
+	var opt2 struct {
+		Config []int `json:"config"`
+	}
+	url := fmt.Sprintf("%s/v1/optimize?k=6&exclude=%d", ts.URL, excluded)
+	if code := getJSON(t, url, &opt2); code != 200 {
+		t.Fatalf("optimize exclude status %d", code)
+	}
+	for _, id := range opt2.Config {
+		if id == excluded {
+			t.Errorf("excluded site %d in config %v", excluded, opt2.Config)
+		}
+	}
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var got struct {
+		Singleton      int     `json:"singleton_experiments"`
+		Pairwise       int     `json:"pairwise_experiments"`
+		SingletonHours float64 `json:"singleton_hours"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/schedule?sites=500&providers=20&prefixes=4", &got); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if got.Singleton != 500 || got.Pairwise != 380 || got.SingletonHours != 250 {
+		t.Fatalf("schedule: %+v", got)
+	}
+}
+
+func TestCampaignRoundTripOverHTTP(t *testing.T) {
+	ts := discoveredServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("export: status %d err %v", resp.StatusCode, err)
+	}
+
+	// A fresh server imports the campaign and can predict immediately.
+	_, ts2 := testServer(t)
+	resp, err = http.Post(ts2.URL+"/v1/campaign", "application/json", bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("import status %d", resp.StatusCode)
+	}
+	if code := getJSON(t, ts2.URL+"/v1/predict?config=1,4", nil); code != 200 {
+		t.Errorf("predict after import: status %d", code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := discoveredServer(t)
+	cases := []string{
+		"/v1/predict",               // missing config
+		"/v1/predict?config=x",      // bad id
+		"/v1/optimize?k=abc",        // bad k
+		"/v1/optimize?exclude=zz",   // bad exclude
+		"/v1/schedule?sites=banana", // bad int
+	}
+	for _, path := range cases {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/discover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/discover: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDiscoverEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/discover", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Experiments int `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || got.Experiments == 0 {
+		t.Fatalf("discover: status %d, %+v", resp.StatusCode, got)
+	}
+}

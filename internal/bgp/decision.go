@@ -1,0 +1,93 @@
+package bgp
+
+import (
+	"sort"
+
+	"anyopt/internal/geo"
+	"anyopt/internal/topology"
+)
+
+// interiorCost models the hot-potato "lowest interior cost" step at the
+// single-speaker abstraction: the distance from the AS to the route's exit
+// point, bucketed so that comparably distant exits still tie. For an AS with
+// PoP structure the exit is its own attachment PoP; a single-location AS
+// discriminates by where its neighbor's attachment sits.
+func (s *Sim) interiorCost(as *topology.AS, l *topology.Link) int {
+	if s.Cfg.InteriorCostBucketKm <= 0 {
+		return 0
+	}
+	var exit geo.Coord
+	if len(as.PoPs) > 0 {
+		exit = as.PoPCoord(l.PoPAt(as.ASN))
+	} else {
+		nb := s.Topo.AS(l.Other(as.ASN))
+		exit = nb.PoPCoord(l.PoPAt(nb.ASN))
+	}
+	return int(geo.DistanceKm(as.Coord, exit) / s.Cfg.InteriorCostBucketKm)
+}
+
+// selectBest runs the BGP decision process over AS a's Adj-RIB-In and returns
+// the single best route plus the candidate set tied with it through
+// LOCAL_PREF and AS-path length.
+//
+// Decision order (§4.1 of the paper, RFC 4271 §9.1.2.2, plus the
+// implementation-specific step the paper studies):
+//
+//  1. highest LOCAL_PREF
+//  2. shortest AS_PATH
+//  3. lowest ORIGIN — all our announcements share one origin code; skipped
+//  4. lowest MED (comparable only between routes from the same neighbor AS)
+//  5. eBGP over iBGP — one speaker per AS, all routes eBGP; skipped
+//  6. lowest interior cost — hot potato over quantized exit distance
+//  7. oldest route (arrival order) — implementation tie-breaker, optional
+//  8. lowest neighbor router ID
+//  9. lowest neighbor address (modeled by link ID)
+func (s *Sim) selectBest(a topology.ASN, rib *ribState) (*route, []*route) {
+	if len(rib.in) == 0 {
+		return nil, nil
+	}
+	routes := make([]*route, 0, len(rib.in))
+	for _, r := range rib.in {
+		routes = append(routes, r)
+	}
+	// Deterministic base order regardless of map iteration.
+	sort.Slice(routes, func(i, j int) bool { return routes[i].link.ID < routes[j].link.ID })
+
+	best := routes[0]
+	for _, r := range routes[1:] {
+		if s.better(r, best) {
+			best = r
+		}
+	}
+	var candidates []*route
+	for _, r := range routes {
+		if r.localPref == best.localPref && r.pathLen() == best.pathLen() {
+			candidates = append(candidates, r)
+		}
+	}
+	return best, candidates
+}
+
+// better reports whether route x beats route y in the decision process.
+func (s *Sim) better(x, y *route) bool {
+	if x.localPref != y.localPref {
+		return x.localPref > y.localPref
+	}
+	if x.pathLen() != y.pathLen() {
+		return x.pathLen() < y.pathLen()
+	}
+	// MED compares only among routes from the same neighboring AS.
+	if len(x.path) > 0 && len(y.path) > 0 && x.path[0] == y.path[0] && x.med != y.med {
+		return x.med < y.med
+	}
+	if x.interiorCost != y.interiorCost {
+		return x.interiorCost < y.interiorCost
+	}
+	if s.Cfg.ArrivalOrderTieBreak && x.arrival != y.arrival {
+		return x.arrival < y.arrival
+	}
+	if x.neighborRouterID != y.neighborRouterID {
+		return x.neighborRouterID < y.neighborRouterID
+	}
+	return x.link.ID < y.link.ID
+}

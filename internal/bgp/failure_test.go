@@ -1,0 +1,199 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"anyopt/internal/topology"
+)
+
+func TestFailLinkShiftsCatchment(t *testing.T) {
+	l := newLab()
+	t1a := l.addT1("T1A", "New York")
+	t1b := l.addT1("T1B", "London")
+	l.peerT1s(t1a, t1b)
+	stub := l.addStub("client", "Madrid", t1a, t1b)
+	siteA := l.site(t1a, "New York")
+	siteB := l.site(t1b, "London")
+
+	s := New(l.topo, tieCfg())
+	s.Announce(0, l.origin.ASN, siteA.ID, 0)
+	s.Engine.RunFor(6 * time.Minute)
+	s.Announce(0, l.origin.ASN, siteB.ID, 0)
+	s.Converge()
+
+	res, _ := s.Forward(0, target(stub))
+	if res.EntryLink != siteA.ID {
+		t.Fatalf("precondition: client should use site A")
+	}
+
+	// Site A's transit link dies: the client must fail over to B.
+	s.FailLink(siteA.ID)
+	s.Converge()
+	if !s.LinkFailed(siteA.ID) {
+		t.Fatal("link not marked failed")
+	}
+	res, ok := s.Forward(0, target(stub))
+	if !ok {
+		t.Fatal("client unroutable after failover")
+	}
+	if res.EntryLink != siteB.ID {
+		t.Fatalf("catchment = link %d, want site B %d", res.EntryLink, siteB.ID)
+	}
+
+	// Restoration brings A back as a valid (if no longer oldest) route.
+	s.RestoreLink(siteA.ID)
+	s.Converge()
+	res, ok = s.Forward(0, target(stub))
+	if !ok {
+		t.Fatal("client unroutable after restore")
+	}
+	if ri := s.BestRoute(0, t1a.ASN); ri == nil {
+		t.Fatal("T1A has no route after restore")
+	}
+}
+
+func TestFailAllLinksLosesReachability(t *testing.T) {
+	l := newLab()
+	t1a := l.addT1("T1A", "New York")
+	stub := l.addStub("client", "Boston", t1a)
+	siteA := l.site(t1a, "New York")
+
+	s := New(l.topo, DefaultConfig())
+	s.Announce(0, l.origin.ASN, siteA.ID, 0)
+	s.Converge()
+	if _, ok := s.Forward(0, target(stub)); !ok {
+		t.Fatal("precondition: reachable")
+	}
+	s.FailLink(siteA.ID)
+	s.Converge()
+	if _, ok := s.Forward(0, target(stub)); ok {
+		t.Fatal("still routable with the only origin link down")
+	}
+	if n := s.ReachableCount(0); n != 0 {
+		t.Fatalf("%d ASes still route the prefix", n)
+	}
+	s.RestoreLink(siteA.ID)
+	s.Converge()
+	if _, ok := s.Forward(0, target(stub)); !ok {
+		t.Fatal("unroutable after restore")
+	}
+}
+
+func TestFailTransitLinkMidPath(t *testing.T) {
+	// Failing a transit link between client and provider forces the client
+	// onto its second provider chain.
+	l := newLab()
+	t1a := l.addT1("T1A", "New York")
+	t1b := l.addT1("T1B", "London")
+	l.peerT1s(t1a, t1b)
+	stub := l.addStub("client", "Madrid", t1a, t1b)
+	siteA := l.site(t1a, "New York")
+
+	s := New(l.topo, DefaultConfig())
+	s.Announce(0, l.origin.ASN, siteA.ID, 0)
+	s.Converge()
+
+	ri := s.BestRoute(0, stub.ASN)
+	if ri == nil || ri.Neighbor != t1a.ASN {
+		t.Fatalf("precondition: client should use T1A directly, got %+v", ri)
+	}
+	// Fail the client's access link to T1A.
+	var accessLink topology.LinkID
+	for _, ln := range l.topo.LinksOf(stub.ASN) {
+		if ln.Other(stub.ASN) == t1a.ASN {
+			accessLink = ln.ID
+		}
+	}
+	s.FailLink(accessLink)
+	s.Converge()
+	ri = s.BestRoute(0, stub.ASN)
+	if ri == nil {
+		t.Fatal("no fallback route")
+	}
+	if ri.Neighbor != t1b.ASN {
+		t.Fatalf("fallback via AS%d, want T1B", ri.Neighbor)
+	}
+}
+
+func TestFailIdempotentAndErrors(t *testing.T) {
+	l := newLab()
+	t1a := l.addT1("T1A", "New York")
+	siteA := l.site(t1a, "New York")
+	s := New(l.topo, DefaultConfig())
+	s.Announce(0, l.origin.ASN, siteA.ID, 0)
+	s.Converge()
+
+	s.FailLink(siteA.ID)
+	s.FailLink(siteA.ID) // idempotent
+	s.Converge()
+	s.RestoreLink(siteA.ID)
+	s.RestoreLink(siteA.ID) // idempotent
+	s.Converge()
+	if n := s.ReachableCount(0); n == 0 {
+		t.Fatal("unreachable after double restore")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FailLink on unknown link did not panic")
+		}
+	}()
+	s.FailLink(9999)
+}
+
+func TestMEDSteersIntraProviderCatchment(t *testing.T) {
+	// One provider, two sites (NY and London). A Boston client would
+	// normally hot-potato to NY; a lower MED on the London link must win
+	// because MED precedes interior cost.
+	run := func(medNY, medLondon int) topology.LinkID {
+		l := newLab()
+		t1 := l.addT1("T1", "New York", "London")
+		stub := l.addStub("client", "Boston", t1)
+		siteNY := l.site(t1, "New York")
+		siteLN := l.site(t1, "London")
+		s := New(l.topo, DefaultConfig())
+		s.AnnounceMED(0, l.origin.ASN, siteNY.ID, 0, medNY)
+		s.AnnounceMED(0, l.origin.ASN, siteLN.ID, 0, medLondon)
+		s.Converge()
+		res, ok := s.Forward(0, target(stub))
+		if !ok {
+			panic("unroutable")
+		}
+		if res.EntryLink == siteNY.ID {
+			return 0
+		}
+		return 1
+	}
+	if got := run(0, 0); got != 0 {
+		t.Errorf("equal MED: Boston client should hot-potato to NY, got site %d", got)
+	}
+	if got := run(10, 0); got != 1 {
+		t.Errorf("London MED 0 vs NY 10: client should be steered to London, got site %d", got)
+	}
+	if got := run(0, 10); got != 0 {
+		t.Errorf("NY MED 0 vs London 10: client should stay at NY, got site %d", got)
+	}
+}
+
+func TestMEDSurvivesWithdrawReannounce(t *testing.T) {
+	l := newLab()
+	t1 := l.addT1("T1", "New York", "London")
+	stub := l.addStub("client", "Boston", t1)
+	siteNY := l.site(t1, "New York")
+	siteLN := l.site(t1, "London")
+	s := New(l.topo, DefaultConfig())
+	s.AnnounceMED(0, l.origin.ASN, siteNY.ID, 0, 10)
+	s.AnnounceMED(0, l.origin.ASN, siteLN.ID, 0, 0)
+	s.Converge()
+	// Withdraw and re-announce NY without MED: it should now win on hot
+	// potato again.
+	s.Withdraw(0, siteNY.ID)
+	s.Converge()
+	s.Announce(0, l.origin.ASN, siteNY.ID, 0)
+	s.Converge()
+	res, _ := s.Forward(0, target(stub))
+	if res.EntryLink != siteNY.ID {
+		t.Errorf("after MED-free re-announce, Boston client at link %d, want NY", res.EntryLink)
+	}
+}

@@ -1,0 +1,152 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/geo"
+	"anyopt/internal/topology"
+)
+
+// TestFigure3PolicyCycle reconstructs the paper's Figure 3: a client network
+// whose pairwise preferences over three anycast sites are cyclic (A > B,
+// C > A, B > C) because an intermediate AS assigns a higher LOCAL_PREF to a
+// customer-learned route. This violates the §4.1 sufficient condition
+// (announce only to tier-1 transits), and the simulator must reproduce the
+// cycle — it is the reason AnyOpt restricts its testbed to tier-1-only
+// announcements.
+//
+// Construction (provider→customer arrows as in the figure):
+//
+//	site A: origin → ASa → (customer of) T1; T1 peers with AS1
+//	site B: origin → ASb → M1 → M2 → T2; dst's second provider AS5 buys from T2
+//	site C: origin → ASc → Z → Y → X → AS1 (a deep customer chain of AS1)
+//	dst buys from AS4 (customer of AS1) and from AS5
+//
+// Path lengths at dst: A = 5 hops, B = 6, C = 7; but AS1 prefers C
+// (customer route) over A (peer route), suppressing A whenever C is
+// announced.
+func TestFigure3PolicyCycle(t *testing.T) {
+	topo := topology.NewEmpty(geo.DefaultLatencyModel())
+	coord := func(name string) geo.Coord {
+		c, ok := geo.CityByName(name)
+		if !ok {
+			t.Fatalf("unknown city %s", name)
+		}
+		return c.Coord
+	}
+	origin := topo.AddAS("origin", topology.TierOrigin, coord("Boston"))
+	add := func(name, city string) *topology.AS {
+		return topo.AddAS(name, topology.TierTransit, coord(city))
+	}
+	asa := add("ASa", "New York")
+	t1 := add("T1", "Chicago")
+	as1 := add("AS1", "Ashburn")
+	x := add("X", "Dallas")
+	y := add("Y", "Denver")
+	z := add("Z", "Phoenix")
+	asc := add("ASc", "Seattle")
+	asb := add("ASb", "London")
+	m1 := add("M1", "Paris")
+	m2 := add("M2", "Madrid")
+	t2 := add("T2", "Frankfurt")
+	as4 := add("AS4", "Miami")
+	as5 := add("AS5", "Atlanta")
+	dst := topo.AddAS("dst", topology.TierStub, coord("Houston"))
+
+	c2p := func(cust, prov *topology.AS) {
+		topo.AddLink(cust.ASN, prov.ASN, topology.CustomerProvider, -1, -1)
+	}
+	// Site A's chain: ASa is T1's customer; T1 peers with AS1 (so AS1 hears
+	// A as a *peer* route).
+	c2p(asa, t1)
+	topo.AddLink(t1.ASN, as1.ASN, topology.PeerPeer, -1, -1)
+	// Site C's chain: deep customer cone under AS1 (AS1 hears C as a
+	// *customer* route).
+	c2p(x, as1)
+	c2p(y, x)
+	c2p(z, y)
+	c2p(asc, z)
+	// Site B's chain toward dst's second provider.
+	c2p(m1, t2)
+	c2p(m2, m1)
+	c2p(asb, m2)
+	// dst's providers.
+	c2p(as4, as1)
+	c2p(as5, t2)
+	c2p(dst, as4)
+	c2p(dst, as5)
+
+	siteA := topo.AddLink(origin.ASN, asa.ASN, topology.CustomerProvider, -1, -1)
+	siteB := topo.AddLink(origin.ASN, asb.ASN, topology.CustomerProvider, -1, -1)
+	siteC := topo.AddLink(origin.ASN, asc.ASN, topology.CustomerProvider, -1, -1)
+
+	links := map[prefs.Item]topology.LinkID{
+		'A': siteA.ID, 'B': siteB.ID, 'C': siteC.ID,
+	}
+	// pairwise runs the order-controlled pair experiment and returns dst's
+	// winner under both announcement orders.
+	pairwise := func(i, j prefs.Item) (prefs.Item, prefs.Item) {
+		winner := func(first, second prefs.Item) prefs.Item {
+			s := New(topo, DefaultConfig())
+			s.Announce(0, origin.ASN, links[first], 0)
+			s.Engine.RunFor(6 * time.Minute)
+			s.Announce(0, origin.ASN, links[second], 0)
+			s.Converge()
+			res, ok := s.Forward(0, topology.Target{AS: dst.ASN, FlowSalt: 42})
+			if !ok {
+				t.Fatalf("dst unroutable with %c+%c announced", first, second)
+			}
+			for item, link := range links {
+				if link == res.EntryLink {
+					return item
+				}
+			}
+			t.Fatalf("unknown entry link %d", res.EntryLink)
+			return 0
+		}
+		return winner(i, j), winner(j, i)
+	}
+
+	store, err := prefs.NewStore([]prefs.Item{'A', 'B', 'C'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]prefs.Item{{'A', 'B'}, {'A', 'C'}, {'B', 'C'}} {
+		wIJ, wJI := pairwise(pair[0], pair[1])
+		if wIJ != wJI {
+			t.Fatalf("pair %c/%c order-dependent (%c vs %c); Figure 3's cycle is policy-induced, not a tie",
+				pair[0], pair[1], wIJ, wJI)
+		}
+		if err := store.RecordOrdered(prefs.Client(dst.ASN), pair[0], pair[1], wIJ, wJI); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cp := store.Get(prefs.Client(dst.ASN))
+	check := func(i, j, want prefs.Item) {
+		rel, w := cp.Relation(i, j)
+		if rel != prefs.RelStrict || w != want {
+			t.Errorf("pair %c/%c: relation %v winner %c, want strict %c", i, j, rel, w, want)
+		}
+	}
+	check('A', 'B', 'A') // shorter provider path wins
+	check('A', 'C', 'C') // AS1's customer preference suppresses A
+	check('B', 'C', 'B') // same LOC_PREF at dst, B is shorter
+
+	if cp.HasTotalOrder([]prefs.Item{'A', 'B', 'C'}) {
+		t.Error("Figure 3 client has a total order; the policy cycle was not reproduced")
+	}
+
+	// With all three sites announced, the client still lands somewhere —
+	// the cycle breaks prediction, not reachability.
+	s := New(topo, DefaultConfig())
+	for _, id := range []topology.LinkID{siteA.ID, siteB.ID, siteC.ID} {
+		s.Announce(0, origin.ASN, id, 0)
+	}
+	s.Converge()
+	if _, ok := s.Forward(0, topology.Target{AS: dst.ASN, FlowSalt: 42}); !ok {
+		t.Error("dst unroutable with all three sites announced")
+	}
+}

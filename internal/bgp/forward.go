@@ -1,0 +1,175 @@
+package bgp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"anyopt/internal/topology"
+)
+
+// maxForwardHops bounds the AS-level forwarding walk; real anycast paths are
+// a handful of AS hops, so hitting the cap indicates a model bug.
+const maxForwardHops = 64
+
+// ForwardResult describes where a packet from a client network ends up.
+type ForwardResult struct {
+	// EntryLink is the origin-side link the packet arrives over — for an
+	// anycast deployment this identifies the catchment site.
+	EntryLink topology.LinkID
+	// ASPath lists the ASes traversed, client first, excluding the origin.
+	ASPath []topology.ASN
+	// Delay is the accumulated one-way forwarding delay, including intra-AS
+	// PoP-to-PoP segments inside transit providers.
+	Delay time.Duration
+}
+
+// Forward traces the AS-level forwarding path of a packet sent by target
+// toward prefix p and reports the origin link (catchment site attachment) it
+// reaches. ok is false when the target's AS has no route.
+//
+// The walk realizes the paper's two-level catchment structure: inter-AS hops
+// follow each AS's BGP best route, an AS holding several equally preferred
+// direct links to the origin picks one by hot-potato (least IGP cost from
+// the packet's ingress PoP), and ASes flagged Multipath choose among
+// equal-cost candidates by per-target flow hash.
+//
+// After convergence, strictly following best routes walks the selected AS
+// path and must terminate at the origin. The multipath override can in
+// principle bounce a flow between two load-sharing ASes (each hashing the
+// flow onto the other); on detecting a revisit the walk falls back to
+// strict best-path forwarding, which models the packet escaping the
+// transient ECMP disagreement.
+func (s *Sim) Forward(p PrefixID, target topology.Target) (ForwardResult, bool) {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return ForwardResult{}, false
+	}
+	cur := target.AS
+	ingressPoP := -1 // targets sit at the client network itself
+	var res ForwardResult
+	visited := map[topology.ASN]bool{}
+	strictBest := false
+
+	for hop := 0; ; hop++ {
+		if hop > maxForwardHops {
+			panic(fmt.Sprintf("bgp: forwarding walk exceeded %d hops for target %s toward prefix %d",
+				maxForwardHops, target.Addr, p))
+		}
+		res.ASPath = append(res.ASPath, cur)
+		visited[cur] = true
+
+		rib := ps.ribs[cur]
+		if rib == nil || rib.best == nil {
+			return ForwardResult{}, false
+		}
+		r := s.chooseForwardingRoute(ps, cur, ingressPoP, rib, target, strictBest)
+		next := r.link.Other(cur)
+		if next != ps.origin && visited[next] && !strictBest {
+			// ECMP ping-pong: re-resolve under strict best-path forwarding.
+			strictBest = true
+			r = s.chooseForwardingRoute(ps, cur, ingressPoP, rib, target, true)
+			next = r.link.Other(cur)
+		}
+
+		// Intra-AS segment from ingress PoP to the egress attachment PoP.
+		egressPoP := r.link.PoPAt(cur)
+		res.Delay += s.Topo.IGPDelay(cur, ingressPoP, egressPoP)
+		// Inter-AS link.
+		res.Delay += r.link.Delay
+
+		if next == ps.origin {
+			res.EntryLink = r.link.ID
+			return res, true
+		}
+		ingressPoP = r.link.PoPAt(next)
+		cur = next
+	}
+}
+
+// chooseForwardingRoute picks the route a packet entering AS cur at
+// ingressPoP actually follows. In strict mode only the hot-potato direct-site
+// override applies (it terminates the walk immediately).
+func (s *Sim) chooseForwardingRoute(ps *prefixState, cur topology.ASN, ingressPoP int, rib *ribState, target topology.Target, strict bool) *route {
+	if len(rib.candidates) <= 1 {
+		return rib.best
+	}
+
+	// Hot-potato among direct links to the origin: when several anycast
+	// sites attach to this AS, interior routing delivers each ingress to its
+	// nearest site (§4.3 — "the interior routing inside an AS determines the
+	// intra-AS catchments").
+	var direct []*route
+	for _, c := range rib.candidates {
+		if c.link.Other(cur) == ps.origin {
+			direct = append(direct, c)
+		}
+	}
+	if len(direct) > 1 {
+		// MED precedes interior cost in the decision process: among routes
+		// from the same neighbor (the origin), the lowest MED wins before
+		// hot potato compares IGP distances.
+		minMED := direct[0].med
+		for _, c := range direct[1:] {
+			if c.med < minMED {
+				minMED = c.med
+			}
+		}
+		best := (*route)(nil)
+		bestCost := 0.0
+		for _, c := range direct {
+			if c.med != minMED {
+				continue
+			}
+			cost := s.Topo.IGPCost(cur, ingressPoP, c.link.PoPAt(cur))
+			if best == nil || cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		return best
+	}
+
+	// Multipath ASes hash the flow across all equally preferred routes. The
+	// hash covers the candidate next hops themselves, as real ECMP does: when
+	// the set of equal-cost routes changes (a different experiment enables
+	// different sites), the flow re-hashes, so a multipath AS's apparent
+	// preferences are stable per pair but not transitive across pairs —
+	// one of the paper's sources of clients without total orders (§4.2).
+	if !strict && s.Topo.AS(cur).Multipath {
+		return rib.candidates[flowIndex(target, cur, rib.candidates)]
+	}
+	return rib.best
+}
+
+// flowIndex deterministically maps a target's flow onto one of the candidate
+// routes, keyed by flow salt, the AS doing the hashing, and the identities of
+// all candidate links.
+func flowIndex(target topology.Target, at topology.ASN, candidates []*route) int {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(target.FlowSalt)
+	put(uint64(at))
+	for _, c := range candidates {
+		put(uint64(c.link.ID))
+	}
+	return int(h.Sum64() % uint64(len(candidates)))
+}
+
+// CatchmentMap computes, for every target, the origin link (site attachment)
+// its traffic reaches under the current routing state. Targets with no route
+// are absent from the map.
+func (s *Sim) CatchmentMap(p PrefixID, targets []topology.Target) map[topology.ASN]topology.LinkID {
+	out := make(map[topology.ASN]topology.LinkID, len(targets))
+	for _, t := range targets {
+		if res, ok := s.Forward(p, t); ok {
+			out[t.AS] = res.EntryLink
+		}
+	}
+	return out
+}

@@ -1,0 +1,479 @@
+// Package bgp is an event-driven simulator of inter-domain routing.
+//
+// It propagates anycast prefix announcements over a topology.Topology under
+// the Gao-Rexford policy model and reproduces the full BGP decision process
+// the paper analyzes, including the non-standard tie-breaker AnyOpt
+// discovered to matter in practice: real routers (Cisco, Juniper) prefer the
+// route that arrived first when all standard attributes tie. Announcement
+// and withdrawal events ride the netsim engine, and per-link propagation
+// delays plus per-AS processing delays determine arrival order at every AS —
+// so announcing two sites six minutes apart produces globally controlled
+// arrival order, while announcing them "simultaneously" leaves arrival order
+// to uncontrolled jitter, exactly the contrast §4.2 and Figure 4 explore.
+//
+// Abstraction level: one BGP speaker per AS for route selection and export
+// (the level at which the paper's Theorems A.1/A.2 operate), with intra-AS
+// hot-potato (ingress-PoP-based) selection when an AS has several direct
+// links to the anycast origin — the paper's two-level inter-AS/intra-AS
+// catchment structure (§4.3). ASes flagged Multipath split traffic across
+// equally preferred routes by flow hash (§4.2). Deliberately unmodeled:
+// MRAI timers, route flap damping, iBGP topologies; the testbed layer spaces
+// experiments far apart, as the paper does, precisely so these do not matter.
+package bgp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"anyopt/internal/netsim"
+	"anyopt/internal/topology"
+)
+
+// PrefixID identifies one of the simulated anycast test prefixes.
+type PrefixID int
+
+// Config tunes simulator behavior.
+type Config struct {
+	// ArrivalOrderTieBreak enables the implementation tie-breaker (oldest
+	// route wins) after the standard attributes. Real deployed routers have
+	// it; turning it off falls back to router-ID comparison immediately,
+	// which is what the BGP specification prescribes. The ablation benches
+	// flip this.
+	ArrivalOrderTieBreak bool
+	// ProcDelayMin/Max bound each AS's *stable* per-update processing delay,
+	// drawn deterministically from (AS, prefix): a router's update-handling
+	// speed is a property of the box and its configuration, so the same race
+	// mostly resolves the same way across experiments.
+	ProcDelayMin, ProcDelayMax time.Duration
+	// RaceJitter bounds the per-experiment component of the processing
+	// delay, drawn from (AS, prefix, JitterNonce). Only races whose stable
+	// delay gap is within this window re-roll between experiments — the
+	// run-to-run variability that makes naive simultaneous announcements
+	// inconsistent (§5.1) without destabilizing everything.
+	RaceJitter time.Duration
+	// JitterNonce identifies the experiment run.
+	JitterNonce uint64
+	// InteriorCostBucketKm enables the "lowest interior cost" decision step
+	// (hot potato): routes are compared by the distance from the AS to the
+	// route's exit point, quantized into buckets of this many kilometers.
+	// Exits in the same bucket still tie and fall through to the
+	// arrival-order step. 0 disables the step entirely (all exits tie),
+	// maximizing arrival-order sensitivity.
+	InteriorCostBucketKm float64
+}
+
+// DefaultConfig matches deployed-router behavior.
+func DefaultConfig() Config {
+	return Config{
+		ArrivalOrderTieBreak: true,
+		ProcDelayMin:         5 * time.Millisecond,
+		ProcDelayMax:         150 * time.Millisecond,
+		RaceJitter:           220 * time.Millisecond,
+		JitterNonce:          0,
+		InteriorCostBucketKm: 300,
+	}
+}
+
+// route is one Adj-RIB-In entry: a path to the anycast prefix learned from a
+// neighbor over a specific link.
+type route struct {
+	link *topology.Link
+	// path lists ASNs from the advertising neighbor to the origin,
+	// inclusive; prepending repeats the origin ASN.
+	path []topology.ASN
+	// localPref is assigned at import by the receiving AS.
+	localPref int
+	// med is the Multi-Exit Discriminator carried on the announcement.
+	med int
+	// arrival is the virtual time this route (with this content) was
+	// installed; the "oldest route" tie-breaker compares it.
+	arrival time.Duration
+	// interiorCost is the quantized hot-potato cost of this route's exit
+	// point from the receiving AS (see Config.InteriorCostBucketKm).
+	interiorCost int
+	// neighborRouterID and linkID break the final ties.
+	neighborRouterID uint32
+}
+
+func (r *route) pathLen() int { return len(r.path) }
+
+// ribState is the per-AS, per-prefix routing state.
+type ribState struct {
+	// in is the Adj-RIB-In keyed by incoming link.
+	in map[topology.LinkID]*route
+	// best is the route selected by the full decision process; nil if the
+	// prefix is unreachable from this AS.
+	best *route
+	// candidates are the routes tied with best through LOCAL_PREF and
+	// AS-path length (the attributes propagated beyond one hop); forwarding
+	// features — hot-potato site choice and multipath splitting — choose
+	// among them.
+	candidates []*route
+}
+
+// Sim is the simulator for a set of anycast prefixes over one topology.
+// It is not safe for concurrent use.
+type Sim struct {
+	Topo   *topology.Topology
+	Engine *netsim.Engine
+	Cfg    Config
+
+	// prefixes holds per-prefix state.
+	prefixes map[PrefixID]*prefixState
+
+	// Updates counts BGP update messages delivered, for reporting.
+	Updates uint64
+
+	// failed marks links that are administratively or physically down.
+	failed map[topology.LinkID]bool
+}
+
+type prefixState struct {
+	origin topology.ASN
+	// announced tracks which origin links currently carry the announcement
+	// and with how much prepending; meds holds each link's MED.
+	announced map[topology.LinkID]int
+	meds      map[topology.LinkID]int
+	ribs      map[topology.ASN]*ribState
+}
+
+// New creates a simulator over topo.
+func New(topo *topology.Topology, cfg Config) *Sim {
+	if cfg.ProcDelayMax < cfg.ProcDelayMin {
+		panic(fmt.Sprintf("bgp: ProcDelayMax %v < ProcDelayMin %v", cfg.ProcDelayMax, cfg.ProcDelayMin))
+	}
+	return &Sim{
+		Topo:     topo,
+		Engine:   &netsim.Engine{},
+		Cfg:      cfg,
+		prefixes: make(map[PrefixID]*prefixState),
+		failed:   make(map[topology.LinkID]bool),
+	}
+}
+
+// state returns (creating if needed) the per-prefix state.
+func (s *Sim) state(p PrefixID) *prefixState {
+	ps := s.prefixes[p]
+	if ps == nil {
+		ps = &prefixState{
+			announced: make(map[topology.LinkID]int),
+			meds:      make(map[topology.LinkID]int),
+			ribs:      make(map[topology.ASN]*ribState),
+		}
+		s.prefixes[p] = ps
+	}
+	return ps
+}
+
+func (ps *prefixState) rib(a topology.ASN) *ribState {
+	r := ps.ribs[a]
+	if r == nil {
+		r = &ribState{in: make(map[topology.LinkID]*route)}
+		ps.ribs[a] = r
+	}
+	return r
+}
+
+// Announce starts advertising prefix from origin over the given origin-side
+// link at the current virtual time, with the origin ASN prepended prepend
+// extra times. Announcing an already-announced link updates its prepending.
+func (s *Sim) Announce(p PrefixID, origin topology.ASN, link topology.LinkID, prepend int) {
+	s.AnnounceMED(p, origin, link, prepend, 0)
+}
+
+// AnnounceMED is Announce with an explicit Multi-Exit Discriminator. MED is
+// one of the paper's control knobs (§2.3): it is compared only between
+// routes from the same neighboring AS, so it steers which of several links
+// *into the same provider* that provider prefers — lower wins. MED is
+// non-transitive: it is not propagated beyond the receiving AS.
+func (s *Sim) AnnounceMED(p PrefixID, origin topology.ASN, link topology.LinkID, prepend, med int) {
+	l := s.Topo.Link(link)
+	if l == nil {
+		panic(fmt.Sprintf("bgp: Announce over unknown link %d", link))
+	}
+	if l.From != origin && l.To != origin {
+		panic(fmt.Sprintf("bgp: link %d does not touch origin AS %d", link, origin))
+	}
+	if prepend < 0 {
+		panic("bgp: negative prepend")
+	}
+	ps := s.state(p)
+	if ps.origin != 0 && ps.origin != origin {
+		panic(fmt.Sprintf("bgp: prefix %d already originated by AS %d", p, ps.origin))
+	}
+	ps.origin = origin
+	ps.announced[link] = prepend
+	ps.meds[link] = med
+
+	// Build the announced path: origin ASN once plus prepends.
+	path := make([]topology.ASN, 1+prepend)
+	for i := range path {
+		path[i] = origin
+	}
+	s.deliver(p, l, l.Other(origin), path, med)
+}
+
+// Withdraw stops advertising prefix over the given origin-side link.
+// Withdrawing a link that is not announced is a no-op.
+func (s *Sim) Withdraw(p PrefixID, link topology.LinkID) {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return
+	}
+	if _, ok := ps.announced[link]; !ok {
+		return
+	}
+	delete(ps.announced, link)
+	delete(ps.meds, link)
+	l := s.Topo.Link(link)
+	s.deliver(p, l, l.Other(ps.origin), nil, 0)
+}
+
+// WithdrawAll withdraws the prefix from every currently announced link.
+func (s *Sim) WithdrawAll(p PrefixID) {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return
+	}
+	for link := range ps.announced {
+		s.Withdraw(p, link)
+	}
+}
+
+// AnnouncedLinks returns the origin links currently carrying prefix p.
+func (s *Sim) AnnouncedLinks(p PrefixID) []topology.LinkID {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return nil
+	}
+	out := make([]topology.LinkID, 0, len(ps.announced))
+	for l := range ps.announced {
+		out = append(out, l)
+	}
+	return out
+}
+
+// deliver schedules the arrival of an update (path != nil) or withdrawal
+// (path == nil) at AS dst over link l, after the link's propagation delay
+// plus the sender-side serialization and receiver processing delay.
+func (s *Sim) deliver(p PrefixID, l *topology.Link, dst topology.ASN, path []topology.ASN, med int) {
+	if s.failed[l.ID] {
+		return
+	}
+	delay := l.Delay + s.procDelay(dst, p)
+	s.Engine.After(delay, func() {
+		if s.failed[l.ID] {
+			return // the link went down while the update was in flight
+		}
+		s.receive(p, l, dst, path, med)
+	})
+}
+
+// procDelay derives the per-AS processing delay for a prefix: a stable
+// component from (AS, prefix) plus a small race component re-rolled per
+// experiment nonce.
+func (s *Sim) procDelay(a topology.ASN, p PrefixID) time.Duration {
+	hash := func(parts ...uint64) uint64 {
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, v := range parts {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		return h.Sum64()
+	}
+	d := s.Cfg.ProcDelayMin
+	if span := s.Cfg.ProcDelayMax - s.Cfg.ProcDelayMin; span > 0 {
+		d += time.Duration(hash(uint64(a), uint64(p), 0x57ab1e) % uint64(span))
+	}
+	if s.Cfg.RaceJitter > 0 {
+		d += time.Duration(hash(uint64(a), uint64(p), s.Cfg.JitterNonce) % uint64(s.Cfg.RaceJitter))
+	}
+	return d
+}
+
+// receive processes an update or withdrawal at AS a.
+func (s *Sim) receive(p PrefixID, l *topology.Link, a topology.ASN, path []topology.ASN, med int) {
+	s.Updates++
+	ps := s.state(p)
+	rib := ps.rib(a)
+	as := s.Topo.AS(a)
+	neighbor := l.Other(a)
+
+	if path == nil {
+		// Withdrawal.
+		if _, ok := rib.in[l.ID]; !ok {
+			return
+		}
+		delete(rib.in, l.ID)
+	} else {
+		// Loop prevention: drop paths containing our own ASN.
+		for _, hop := range path {
+			if hop == a {
+				return
+			}
+		}
+		nb := s.Topo.AS(neighbor)
+		r := &route{
+			link:             l,
+			path:             path,
+			localPref:        s.importPref(as, l),
+			med:              med,
+			arrival:          s.Engine.Now(),
+			neighborRouterID: nb.RouterID,
+			interiorCost:     s.interiorCost(as, l),
+		}
+		if old := rib.in[l.ID]; old != nil {
+			if samePath(old.path, path) && old.med == med {
+				return // duplicate re-advertisement; keep original arrival time
+			}
+		}
+		rib.in[l.ID] = r
+	}
+	s.runDecision(p, ps, a, rib)
+}
+
+// importPref assigns LOCAL_PREF at import, relationship-based with optional
+// deviant per-neighbor deltas.
+func (s *Sim) importPref(as *topology.AS, l *topology.Link) int {
+	var pref int
+	switch l.RoleOf(as.ASN) {
+	case topology.RoleCustomer:
+		pref = 300
+	case topology.RolePeer:
+		pref = 200
+	case topology.RoleProvider:
+		pref = 100
+	}
+	if as.LocalPrefDelta != nil {
+		pref += as.LocalPrefDelta[l.Other(as.ASN)]
+	}
+	return pref
+}
+
+// runDecision re-runs best-path selection at AS a and propagates any change.
+func (s *Sim) runDecision(p PrefixID, ps *prefixState, a topology.ASN, rib *ribState) {
+	oldBest := rib.best
+	rib.best, rib.candidates = s.selectBest(a, rib)
+
+	if routesEquivalentForExport(oldBest, rib.best) {
+		return
+	}
+	s.export(p, ps, a, rib, oldBest)
+}
+
+// routesEquivalentForExport reports whether swapping oldBest for newBest is
+// invisible to neighbors (same AS path and same learned-role class).
+func routesEquivalentForExport(a, b *route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.link == b.link && samePath(a.path, b.path)
+}
+
+// export advertises AS a's new best route (or a withdrawal) to the neighbors
+// eligible under Gao-Rexford export policy.
+func (s *Sim) export(p PrefixID, ps *prefixState, a topology.ASN, rib *ribState, oldBest *route) {
+	newBest := rib.best
+
+	var newPath []topology.ASN
+	if newBest != nil {
+		newPath = append([]topology.ASN{a}, newBest.path...)
+	}
+
+	for _, nl := range s.Topo.LinksOf(a) {
+		neighbor := nl.Other(a)
+		if neighbor == ps.origin {
+			continue // never advertise the origin's own prefix back at it
+		}
+		exportedOld := oldBest != nil && exportAllowed(oldBest.link.RoleOf(a), nl.RoleOf(a))
+		exportNew := newBest != nil && exportAllowed(newBest.link.RoleOf(a), nl.RoleOf(a))
+		if newBest != nil && nl == newBest.link {
+			// Split horizon: don't advertise a route back over the link it
+			// was learned from.
+			exportNew = false
+		}
+		switch {
+		case exportNew:
+			s.deliver(p, nl, neighbor, newPath, 0)
+		case exportedOld:
+			// The neighbor previously heard a route from us but the new
+			// best is not exportable to it (or we lost the route): withdraw.
+			s.deliver(p, nl, neighbor, nil, 0)
+		}
+	}
+}
+
+// exportAllowed implements Gao-Rexford export policy: routes learned from
+// customers go to everyone; routes learned from peers or providers go only to
+// customers.
+func exportAllowed(learnedFrom, to topology.NeighborRole) bool {
+	if learnedFrom == topology.RoleCustomer {
+		return true
+	}
+	return to == topology.RoleCustomer
+}
+
+// Converge runs the event engine until no BGP events remain and returns the
+// number of events processed.
+func (s *Sim) Converge() uint64 { return s.Engine.Run() }
+
+func samePath(a, b []topology.ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RouteInfo is a read-only view of an AS's best route for tests and tools.
+type RouteInfo struct {
+	Neighbor  topology.ASN
+	Link      topology.LinkID
+	Path      []topology.ASN
+	LocalPref int
+	Arrival   time.Duration
+}
+
+// BestRoute returns the selected route at AS a for prefix p, or nil when the
+// prefix is unreachable from a.
+func (s *Sim) BestRoute(p PrefixID, a topology.ASN) *RouteInfo {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return nil
+	}
+	rib := ps.ribs[a]
+	if rib == nil || rib.best == nil {
+		return nil
+	}
+	b := rib.best
+	return &RouteInfo{
+		Neighbor:  b.link.Other(a),
+		Link:      b.link.ID,
+		Path:      append([]topology.ASN(nil), b.path...),
+		LocalPref: b.localPref,
+		Arrival:   b.arrival,
+	}
+}
+
+// ReachableCount returns how many ASes currently have a route to prefix p.
+func (s *Sim) ReachableCount(p PrefixID) int {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return 0
+	}
+	n := 0
+	for _, rib := range ps.ribs {
+		if rib.best != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package speaker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Handler consumes an established inbound session. It runs on its own
+// goroutine; when it returns, the session is closed.
+type Handler func(*Session)
+
+// Listener accepts inbound BGP sessions on a TCP (or any net.Listener)
+// endpoint — the passive side of the FSM. The paper's site routers play this
+// role toward the orchestrator's GoBGP.
+type Listener struct {
+	cfg     Config
+	ln      net.Listener
+	handler Handler
+
+	mu       sync.Mutex
+	closed   bool
+	sessions []*Session
+	wg       sync.WaitGroup
+}
+
+// Listen starts accepting BGP sessions on addr (e.g. "127.0.0.1:0"). Each
+// established session is handed to handler.
+func Listen(addr string, cfg Config, handler Handler) (*Listener, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("speaker: Listen requires a handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("speaker: %w", err)
+	}
+	l := &Listener{cfg: cfg, ln: ln, handler: handler}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listening address (useful with port 0).
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			sess, err := Establish(l.cfg, conn)
+			if err != nil {
+				return // Establish already closed the connection
+			}
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				sess.Close()
+				return
+			}
+			l.sessions = append(l.sessions, sess)
+			l.mu.Unlock()
+			l.handler(sess)
+			sess.Close()
+		}()
+	}
+}
+
+// SessionCount returns the number of sessions established so far (including
+// since-closed ones).
+func (l *Listener) SessionCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sessions)
+}
+
+// Close stops accepting and tears down every established session.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	sessions := append([]*Session(nil), l.sessions...)
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, s := range sessions {
+		s.Close()
+	}
+	l.wg.Wait()
+	return err
+}
+
+// Dial connects to a listening BGP speaker at addr and establishes a
+// session — the active side of the FSM.
+func Dial(addr string, cfg Config) (*Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("speaker: %w", err)
+	}
+	return Establish(cfg, conn)
+}

@@ -1,0 +1,164 @@
+package speaker
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"anyopt/internal/bgp/wire"
+)
+
+func TestListenDialExchange(t *testing.T) {
+	// The "site router": collects announced prefixes.
+	var mu sync.Mutex
+	received := map[netip.Prefix]int{}
+	done := make(chan struct{}, 4)
+
+	ln, err := Listen("127.0.0.1:0", Config{AS: 65001, RouterID: 2, HoldTime: 5 * time.Second},
+		func(s *Session) {
+			for u := range s.Updates() {
+				mu.Lock()
+				for _, p := range u.NLRI {
+					received[p]++
+				}
+				for _, p := range u.Withdrawn {
+					received[p]--
+				}
+				mu.Unlock()
+				done <- struct{}{}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	sess, err := Dial(ln.Addr().String(), Config{AS: 65000, RouterID: 1, HoldTime: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.PeerAS() != 65001 {
+		t.Fatalf("peer AS = %d", sess.PeerAS())
+	}
+
+	prefix := netip.MustParsePrefix("203.0.113.0/24")
+	attrs := &wire.PathAttrs{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{65000}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+	}
+	if err := sess.Announce(prefix, attrs); err != nil {
+		t.Fatal(err)
+	}
+	waitSignal(t, done)
+	if err := sess.Withdraw(prefix); err != nil {
+		t.Fatal(err)
+	}
+	waitSignal(t, done)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if received[prefix] != 0 {
+		t.Errorf("announce/withdraw imbalance: %d", received[prefix])
+	}
+	if ln.SessionCount() != 1 {
+		t.Errorf("session count = %d", ln.SessionCount())
+	}
+}
+
+func TestListenerMultipleClients(t *testing.T) {
+	updates := make(chan *wire.Update, 16)
+	ln, err := Listen("127.0.0.1:0", Config{AS: 65001, RouterID: 2, HoldTime: 5 * time.Second},
+		func(s *Session) {
+			for u := range s.Updates() {
+				updates <- u
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var sessions []*Session
+	for i := 0; i < 3; i++ {
+		s, err := Dial(ln.Addr().String(), Config{AS: uint16(64512 + i), RouterID: uint32(i + 1), HoldTime: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		defer s.Close()
+		sessions = append(sessions, s)
+	}
+	attrs := &wire.PathAttrs{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{64512}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+	}
+	for i, s := range sessions {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)
+		if err := s.Announce(p, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[netip.Prefix]bool{}
+	for i := 0; i < 3; i++ {
+		select {
+		case u := <-updates:
+			for _, p := range u.NLRI {
+				seen[p] = true
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("only %d of 3 updates arrived", i)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("prefixes seen: %v", seen)
+	}
+}
+
+func TestListenerCloseTearsDownSessions(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", Config{AS: 65001, RouterID: 2, HoldTime: 5 * time.Second},
+		func(s *Session) {
+			for range s.Updates() {
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Dial(ln.Addr().String(), Config{AS: 64512, RouterID: 1, HoldTime: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The client observes the teardown.
+	select {
+	case _, ok := <-sess.Updates():
+		if ok {
+			t.Fatal("unexpected update")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("client session survived listener close")
+	}
+	// Dialing a closed listener fails.
+	if _, err := Dial(ln.Addr().String(), Config{AS: 64512, RouterID: 1}); err == nil {
+		t.Error("dial to closed listener succeeded")
+	}
+}
+
+func TestListenRequiresHandler(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", Config{}, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func waitSignal(t *testing.T, ch chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(3 * time.Second):
+		t.Fatal("timed out waiting for update")
+	}
+}

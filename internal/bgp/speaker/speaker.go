@@ -1,0 +1,353 @@
+// Package speaker is a minimal BGP-4 speaker: the session FSM (RFC 4271 §8)
+// over an arbitrary net.Conn, exchanging wire-encoded messages.
+//
+// It plays the role GoBGP plays in the paper's testbed (§3.1): the
+// orchestrator opens a session toward each site's router and injects or
+// withdraws the anycast prefix over it. Only the parts of the protocol the
+// orchestrator needs are implemented — session establishment, keepalives,
+// hold-timer expiry, update exchange, and notification handling. There is no
+// route server logic here; received updates are handed to the caller.
+package speaker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"anyopt/internal/bgp/wire"
+)
+
+// State is the BGP FSM state.
+type State int32
+
+const (
+	StateIdle State = iota
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	case StateClosed:
+		return "Closed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Config identifies the local speaker.
+type Config struct {
+	// AS is the local autonomous system number (2-octet; the orchestrator's
+	// private ASN fits).
+	AS uint16
+	// RouterID is the local BGP identifier.
+	RouterID uint32
+	// HoldTime is the proposed hold time; keepalives are sent at a third of
+	// the negotiated value. Zero means 90 s.
+	HoldTime time.Duration
+}
+
+// ErrClosed is returned from operations on a closed session.
+var ErrClosed = errors.New("speaker: session closed")
+
+// Session is an established BGP session.
+type Session struct {
+	conn     net.Conn
+	peerOpen *wire.Open
+	holdTime time.Duration
+
+	mu     sync.Mutex
+	state  State
+	err    error
+	closed chan struct{}
+
+	updates chan *wire.Update
+
+	writeMu sync.Mutex
+}
+
+// Establish performs the OPEN/KEEPALIVE handshake on conn and returns an
+// established session. Both endpoints call Establish on their end of the
+// connection. On handshake failure the connection is closed.
+func Establish(cfg Config, conn net.Conn) (*Session, error) {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 90 * time.Second
+	}
+	s := &Session{
+		conn:    conn,
+		state:   StateIdle,
+		closed:  make(chan struct{}),
+		updates: make(chan *wire.Update, 64),
+	}
+
+	open := &wire.Open{
+		Version:  4,
+		AS:       cfg.AS,
+		HoldTime: uint16(cfg.HoldTime / time.Second),
+		RouterID: cfg.RouterID,
+	}
+	// Handshake sends run asynchronously: over synchronous transports (e.g.
+	// net.Pipe) both endpoints write their OPEN before either reads, so a
+	// blocking write here would deadlock the two FSMs against each other.
+	openErr := make(chan error, 1)
+	go func() { openErr <- s.send(open) }()
+	s.setState(StateOpenSent)
+
+	// Bound the whole handshake by the configured hold time.
+	conn.SetReadDeadline(time.Now().Add(cfg.HoldTime))
+	msg, err := readMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("speaker: awaiting OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*wire.Open)
+	if !ok {
+		s.send(&wire.Notification{Code: 5 /* FSM error */})
+		conn.Close()
+		return nil, fmt.Errorf("speaker: expected OPEN, got type %d", msg.Type())
+	}
+	if peerOpen.Version != 4 {
+		s.send(&wire.Notification{Code: 2, Subcode: 1 /* unsupported version */})
+		conn.Close()
+		return nil, fmt.Errorf("speaker: peer version %d unsupported", peerOpen.Version)
+	}
+	s.peerOpen = peerOpen
+
+	// Negotiate hold time: the smaller of ours and the peer's.
+	hold := cfg.HoldTime
+	if p := time.Duration(peerOpen.HoldTime) * time.Second; p < hold {
+		hold = p
+	}
+	if hold > 0 && hold < 3*time.Second {
+		hold = 3 * time.Second
+	}
+	s.holdTime = hold
+
+	if err := <-openErr; err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("speaker: sending OPEN: %w", err)
+	}
+
+	kaErr := make(chan error, 1)
+	go func() { kaErr <- s.send(&wire.Keepalive{}) }()
+	s.setState(StateOpenConfirm)
+
+	msg, err = readMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("speaker: awaiting KEEPALIVE: %w", err)
+	}
+	if err := <-kaErr; err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("speaker: sending KEEPALIVE: %w", err)
+	}
+	if n, ok := msg.(*wire.Notification); ok {
+		conn.Close()
+		return nil, fmt.Errorf("speaker: peer refused session: %w", n)
+	}
+	if _, ok := msg.(*wire.Keepalive); !ok {
+		conn.Close()
+		return nil, fmt.Errorf("speaker: expected KEEPALIVE, got type %d", msg.Type())
+	}
+	s.setState(StateEstablished)
+
+	go s.readLoop()
+	go s.keepaliveLoop()
+	return s, nil
+}
+
+// State returns the current FSM state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// PeerAS returns the peer's AS number from its OPEN.
+func (s *Session) PeerAS() uint16 { return s.peerOpen.AS }
+
+// PeerRouterID returns the peer's router ID from its OPEN.
+func (s *Session) PeerRouterID() uint32 { return s.peerOpen.RouterID }
+
+// HoldTime returns the negotiated hold time.
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+func (s *Session) setState(st State) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+// Announce advertises prefix with the given attributes.
+func (s *Session) Announce(prefix netip.Prefix, attrs *wire.PathAttrs) error {
+	return s.SendUpdate(&wire.Update{Attrs: attrs, NLRI: []netip.Prefix{prefix}})
+}
+
+// Withdraw withdraws prefix.
+func (s *Session) Withdraw(prefix netip.Prefix) error {
+	return s.SendUpdate(&wire.Update{Withdrawn: []netip.Prefix{prefix}})
+}
+
+// SendUpdate transmits an arbitrary UPDATE.
+func (s *Session) SendUpdate(u *wire.Update) error {
+	select {
+	case <-s.closed:
+		return s.closeErr()
+	default:
+	}
+	return s.send(u)
+}
+
+// Updates returns the channel of received UPDATE messages. It is closed when
+// the session dies; call Err for the reason.
+func (s *Session) Updates() <-chan *wire.Update { return s.updates }
+
+// Err returns the error that terminated the session, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Session) closeErr() error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return ErrClosed
+}
+
+// Close sends a Cease notification and tears the session down.
+func (s *Session) Close() error {
+	s.shutdown(nil, true)
+	return nil
+}
+
+// shutdown terminates the session once; notify controls whether a Cease is
+// attempted.
+func (s *Session) shutdown(cause error, notify bool) {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	s.err = cause
+	s.state = StateClosed
+	close(s.closed)
+	s.mu.Unlock()
+
+	if notify {
+		s.send(&wire.Notification{Code: 6 /* Cease */})
+	}
+	s.conn.Close()
+}
+
+func (s *Session) send(m wire.Message) error {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_, err = s.conn.Write(b)
+	return err
+}
+
+// readLoop dispatches inbound messages until the session dies.
+func (s *Session) readLoop() {
+	defer close(s.updates)
+	for {
+		if s.holdTime > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.holdTime))
+		}
+		msg, err := readMessage(s.conn)
+		if err != nil {
+			select {
+			case <-s.closed:
+				s.shutdown(nil, false)
+			default:
+				if isTimeout(err) {
+					err = fmt.Errorf("speaker: hold timer expired after %v", s.holdTime)
+					s.send(&wire.Notification{Code: 4 /* hold timer expired */})
+				}
+				s.shutdown(err, false)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Update:
+			select {
+			case s.updates <- m:
+			case <-s.closed:
+				return
+			}
+		case *wire.Keepalive:
+			// Receiving anything resets the hold timer (handled above).
+		case *wire.Notification:
+			s.shutdown(fmt.Errorf("speaker: peer sent notification: %w", m), false)
+			return
+		case *wire.Open:
+			s.send(&wire.Notification{Code: 5 /* FSM error */})
+			s.shutdown(fmt.Errorf("speaker: unexpected OPEN in established state"), false)
+			return
+		}
+	}
+}
+
+// keepaliveLoop sends keepalives at a third of the hold time.
+func (s *Session) keepaliveLoop() {
+	if s.holdTime <= 0 {
+		return
+	}
+	t := time.NewTicker(s.holdTime / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.send(&wire.Keepalive{}); err != nil {
+				s.shutdown(fmt.Errorf("speaker: keepalive send: %w", err), false)
+				return
+			}
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// readMessage reads one framed BGP message from r.
+func readMessage(r io.Reader) (wire.Message, error) {
+	hdr := make([]byte, wire.HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	_, length, err := wire.ParseHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]byte, length)
+	copy(full, hdr)
+	if _, err := io.ReadFull(r, full[wire.HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return wire.Parse(full)
+}

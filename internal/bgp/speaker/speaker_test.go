@@ -1,0 +1,228 @@
+package speaker
+
+import (
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"anyopt/internal/bgp/wire"
+)
+
+// establishPair runs the handshake over a net.Pipe and returns both sessions.
+func establishPair(t *testing.T, a, b Config) (*Session, *Session) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 2)
+	go func() { s, err := Establish(a, ca); ch <- res{s, err} }()
+	go func() { s, err := Establish(b, cb); ch <- res{s, err} }()
+	r1, r2 := <-ch, <-ch
+	if r1.err != nil {
+		t.Fatalf("establish: %v", r1.err)
+	}
+	if r2.err != nil {
+		t.Fatalf("establish: %v", r2.err)
+	}
+	// Map back to (a, b) order via ASN.
+	if r1.s.PeerAS() == a.AS {
+		return r2.s, r1.s
+	}
+	return r1.s, r2.s
+}
+
+func cfg(as uint16, id uint32) Config {
+	return Config{AS: as, RouterID: id, HoldTime: 3 * time.Second}
+}
+
+func TestEstablish(t *testing.T) {
+	sa, sb := establishPair(t, cfg(64512, 1), cfg(64513, 2))
+	defer sa.Close()
+	defer sb.Close()
+
+	if sa.State() != StateEstablished || sb.State() != StateEstablished {
+		t.Fatalf("states = %v, %v", sa.State(), sb.State())
+	}
+	if sa.PeerAS() != 64513 || sb.PeerAS() != 64512 {
+		t.Errorf("peer AS mixup: %d, %d", sa.PeerAS(), sb.PeerAS())
+	}
+	if sa.PeerRouterID() != 2 || sb.PeerRouterID() != 1 {
+		t.Errorf("peer router ID mixup")
+	}
+	if sa.HoldTime() != 3*time.Second {
+		t.Errorf("negotiated hold = %v", sa.HoldTime())
+	}
+}
+
+func TestAnnounceWithdrawFlow(t *testing.T) {
+	sa, sb := establishPair(t, cfg(64512, 1), cfg(64513, 2))
+	defer sa.Close()
+	defer sb.Close()
+
+	prefix := netip.MustParsePrefix("203.0.113.0/24")
+	attrs := &wire.PathAttrs{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{64512}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+	}
+	if err := sa.Announce(prefix, attrs); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-sb.Updates():
+		if len(u.NLRI) != 1 || u.NLRI[0] != prefix {
+			t.Fatalf("received NLRI %v", u.NLRI)
+		}
+		if got := u.Attrs.FlatASPath(); len(got) != 1 || got[0] != 64512 {
+			t.Fatalf("AS path %v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update not received")
+	}
+
+	if err := sa.Withdraw(prefix); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-sb.Updates():
+		if len(u.Withdrawn) != 1 || u.Withdrawn[0] != prefix {
+			t.Fatalf("received withdrawal %v", u.Withdrawn)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("withdrawal not received")
+	}
+}
+
+func TestKeepalivesSustainSession(t *testing.T) {
+	// Hold time 3 s (the floor); session must survive well past it when idle
+	// because keepalives flow at hold/3.
+	sa, sb := establishPair(t, cfg(64512, 1), cfg(64513, 2))
+	defer sa.Close()
+	defer sb.Close()
+
+	time.Sleep(4 * time.Second)
+	if sa.State() != StateEstablished || sb.State() != StateEstablished {
+		t.Fatalf("session died while keepalives should sustain it: %v / %v (err %v / %v)",
+			sa.State(), sb.State(), sa.Err(), sb.Err())
+	}
+}
+
+func TestCloseNotifiesPeer(t *testing.T) {
+	sa, sb := establishPair(t, cfg(64512, 1), cfg(64513, 2))
+	sa.Close()
+
+	select {
+	case _, ok := <-sb.Updates():
+		if ok {
+			t.Fatal("unexpected update")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer did not observe close")
+	}
+	if err := sb.Err(); err == nil || !strings.Contains(err.Error(), "notification") {
+		t.Errorf("peer error = %v, want cease notification", err)
+	}
+	if err := sa.SendUpdate(&wire.Update{}); err == nil {
+		t.Error("SendUpdate on closed session succeeded")
+	}
+}
+
+func TestVersionMismatchRefused(t *testing.T) {
+	ca, cb := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Establish(cfg(64512, 1), ca)
+		done <- err
+	}()
+	// Fake peer speaking BGP version 3.
+	go func() {
+		b, _ := wire.Marshal(&wire.Open{Version: 3, AS: 1, HoldTime: 90, RouterID: 9})
+		cb.Write(b)
+		// Drain whatever arrives.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := cb.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	err := <-done
+	if err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestGarbageRefused(t *testing.T) {
+	ca, cb := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Establish(cfg(64512, 1), ca)
+		done <- err
+	}()
+	go func() {
+		cb.Write(make([]byte, 64)) // zero marker bytes: invalid header
+		buf := make([]byte, 4096)
+		for {
+			if _, err := cb.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("garbage handshake accepted")
+	}
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	// A peer that completes the handshake but then goes silent (no
+	// keepalives) must be detected via hold-timer expiry.
+	ca, cb := net.Pipe()
+	done := make(chan *Session, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		s, err := Establish(cfg(64512, 1), ca)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		done <- s
+	}()
+	// Silent peer: handshake by hand, then nothing.
+	go func() {
+		b, _ := wire.Marshal(&wire.Open{Version: 4, AS: 64513, HoldTime: 3, RouterID: 9})
+		cb.Write(b)
+		k, _ := wire.Marshal(&wire.Keepalive{})
+		// Read our peer's OPEN + KEEPALIVE first so the pipe doesn't block.
+		buf := make([]byte, 4096)
+		cb.Read(buf)
+		cb.Write(k)
+		for {
+			if _, err := cb.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	var s *Session
+	select {
+	case s = <-done:
+	case err := <-errCh:
+		t.Fatalf("handshake failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake stuck")
+	}
+	select {
+	case _, ok := <-s.Updates():
+		if ok {
+			t.Fatal("unexpected update")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hold timer never expired")
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "hold timer") {
+		t.Errorf("session error = %v, want hold timer expiry", err)
+	}
+}

@@ -1,0 +1,73 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"anyopt/internal/topology"
+)
+
+func TestStatsConvergedState(t *testing.T) {
+	s, topo, origin, links := buildAnycast(t, topology.TestParams(), DefaultConfig(), 1)
+	for i, l := range links {
+		l := l
+		s.Engine.Schedule(time.Duration(i)*6*time.Minute, func() {
+			s.Announce(0, origin, l.ID, 0)
+		})
+	}
+	s.Converge()
+
+	st := s.Stats(0)
+	if st.ReachableASes < topo.NumASes()*9/10 {
+		t.Errorf("reachable = %d of %d ASes", st.ReachableASes, topo.NumASes())
+	}
+	if st.Routes < st.ReachableASes {
+		t.Errorf("routes (%d) < reachable (%d); multihomed ASes should hold alternates", st.Routes, st.ReachableASes)
+	}
+	if st.TiedBest == 0 {
+		t.Error("no tied best paths; the Fig 4a population is missing")
+	}
+	mean := st.MeanPathLength()
+	if mean < 1.5 || mean > 8 {
+		t.Errorf("mean path length %.2f implausible", mean)
+	}
+	if st.LastUpdate <= 0 {
+		t.Error("no settle time recorded")
+	}
+	out := st.String()
+	for _, want := range []string{"reachable=", "tied=", "lens="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered stats missing %q: %s", want, out)
+		}
+	}
+
+	// Catchment sizes must cover every routable target and use only
+	// announced links.
+	sizes := s.CatchmentSizes(0, topo.Targets)
+	total := 0
+	announced := map[topology.LinkID]bool{}
+	for _, l := range links {
+		announced[l.ID] = true
+	}
+	for link, n := range sizes {
+		if !announced[link] {
+			t.Errorf("catchment at unannounced link %d", link)
+		}
+		total += n
+	}
+	if total != len(topo.Targets) {
+		t.Errorf("catchment total %d of %d targets", total, len(topo.Targets))
+	}
+}
+
+func TestStatsUnknownPrefix(t *testing.T) {
+	s, _, _, _ := buildAnycast(t, topology.TestParams(), DefaultConfig(), 1)
+	st := s.Stats(9)
+	if st.ReachableASes != 0 || st.Routes != 0 {
+		t.Errorf("stats for unknown prefix: %+v", st)
+	}
+	if st.MeanPathLength() != 0 {
+		t.Error("mean path length of empty state")
+	}
+}

@@ -1,0 +1,301 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Path attribute type codes (RFC 4271 §5.1).
+const (
+	AttrOrigin    = 1
+	AttrASPath    = 2
+	AttrNextHop   = 3
+	AttrMED       = 4
+	AttrLocalPref = 5
+	AttrCommunity = 8 // RFC 1997
+)
+
+// Attribute flags.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// ORIGIN codes.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS_PATH segment types.
+const (
+	ASSet      = 1
+	ASSequence = 2
+)
+
+// ASPathSegment is one segment of an AS_PATH attribute. ASNs are 4 octets
+// (RFC 6793 new-style speakers).
+type ASPathSegment struct {
+	Type uint8 // ASSet or ASSequence
+	ASNs []uint32
+}
+
+// PathAttrs is the decoded attribute set AnyOpt cares about.
+type PathAttrs struct {
+	Origin      uint8
+	ASPath      []ASPathSegment
+	NextHop     netip.Addr
+	MED         uint32
+	HasMED      bool
+	LocalPref   uint32
+	HasLocal    bool
+	Communities []uint32
+}
+
+// ASPathLen returns the path length as the decision process counts it: each
+// ASN in a sequence counts 1, an entire set counts 1 (RFC 4271 §9.1.2.2).
+func (a *PathAttrs) ASPathLen() int {
+	n := 0
+	for _, seg := range a.ASPath {
+		if seg.Type == ASSet {
+			n++
+		} else {
+			n += len(seg.ASNs)
+		}
+	}
+	return n
+}
+
+// FlatASPath returns the concatenated ASNs of all sequence segments.
+func (a *PathAttrs) FlatASPath() []uint32 {
+	var out []uint32
+	for _, seg := range a.ASPath {
+		out = append(out, seg.ASNs...)
+	}
+	return out
+}
+
+// Update is a BGP UPDATE message (§4.3).
+type Update struct {
+	Withdrawn []netip.Prefix
+	Attrs     *PathAttrs // nil when the update only withdraws
+	NLRI      []netip.Prefix
+}
+
+// Type implements Message.
+func (*Update) Type() uint8 { return TypeUpdate }
+
+func (u *Update) body() ([]byte, error) {
+	withdrawn, err := marshalPrefixes(u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	var attrs []byte
+	if u.Attrs != nil {
+		attrs, err = marshalAttrs(u.Attrs)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(u.NLRI) > 0 {
+		return nil, fmt.Errorf("wire: UPDATE with NLRI requires path attributes")
+	}
+	nlri, err := marshalPrefixes(u.NLRI)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 4+len(withdrawn)+len(attrs)+len(nlri))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(withdrawn)))
+	b = append(b, withdrawn...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	b = append(b, attrs...)
+	b = append(b, nlri...)
+	return b, nil
+}
+
+func parseUpdate(b []byte) (*Update, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: UPDATE truncated")
+	}
+	wl := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+wl+2 {
+		return nil, fmt.Errorf("wire: UPDATE withdrawn routes truncated")
+	}
+	withdrawn, err := parsePrefixes(b[2 : 2+wl])
+	if err != nil {
+		return nil, fmt.Errorf("wire: withdrawn routes: %w", err)
+	}
+	rest := b[2+wl:]
+	al := int(binary.BigEndian.Uint16(rest))
+	if len(rest) < 2+al {
+		return nil, fmt.Errorf("wire: UPDATE attributes truncated")
+	}
+	var attrs *PathAttrs
+	if al > 0 {
+		attrs, err = parseAttrs(rest[2 : 2+al])
+		if err != nil {
+			return nil, err
+		}
+	}
+	nlri, err := parsePrefixes(rest[2+al:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: NLRI: %w", err)
+	}
+	if len(nlri) > 0 && attrs == nil {
+		return nil, fmt.Errorf("wire: UPDATE advertises NLRI without attributes")
+	}
+	return &Update{Withdrawn: withdrawn, Attrs: attrs, NLRI: nlri}, nil
+}
+
+func appendAttr(b []byte, flags, code uint8, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= flagExtLen
+	}
+	b = append(b, flags, code)
+	if flags&flagExtLen != 0 {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(val)))
+	} else {
+		b = append(b, uint8(len(val)))
+	}
+	return append(b, val...)
+}
+
+func marshalAttrs(a *PathAttrs) ([]byte, error) {
+	var b []byte
+	// ORIGIN (well-known mandatory).
+	b = appendAttr(b, flagTransitive, AttrOrigin, []byte{a.Origin})
+	// AS_PATH (well-known mandatory).
+	var path []byte
+	for _, seg := range a.ASPath {
+		if len(seg.ASNs) > 255 {
+			return nil, fmt.Errorf("wire: AS_PATH segment with %d ASNs", len(seg.ASNs))
+		}
+		if seg.Type != ASSet && seg.Type != ASSequence {
+			return nil, fmt.Errorf("wire: bad AS_PATH segment type %d", seg.Type)
+		}
+		path = append(path, seg.Type, uint8(len(seg.ASNs)))
+		for _, asn := range seg.ASNs {
+			path = binary.BigEndian.AppendUint32(path, asn)
+		}
+	}
+	b = appendAttr(b, flagTransitive, AttrASPath, path)
+	// NEXT_HOP (well-known mandatory).
+	if !a.NextHop.Is4() {
+		return nil, fmt.Errorf("wire: NEXT_HOP %v is not IPv4", a.NextHop)
+	}
+	nh := a.NextHop.As4()
+	b = appendAttr(b, flagTransitive, AttrNextHop, nh[:])
+	if a.HasMED {
+		b = appendAttr(b, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, a.MED))
+	}
+	if a.HasLocal {
+		b = appendAttr(b, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref))
+	}
+	if len(a.Communities) > 0 {
+		var cs []byte
+		for _, c := range a.Communities {
+			cs = binary.BigEndian.AppendUint32(cs, c)
+		}
+		b = appendAttr(b, flagOptional|flagTransitive, AttrCommunity, cs)
+	}
+	return b, nil
+}
+
+func parseAttrs(b []byte) (*PathAttrs, error) {
+	a := &PathAttrs{}
+	seenOrigin, seenPath, seenNH := false, false, false
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, fmt.Errorf("wire: attribute header truncated")
+		}
+		flags, code := b[0], b[1]
+		var alen, off int
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("wire: extended attribute header truncated")
+			}
+			alen, off = int(binary.BigEndian.Uint16(b[2:])), 4
+		} else {
+			alen, off = int(b[2]), 3
+		}
+		if len(b) < off+alen {
+			return nil, fmt.Errorf("wire: attribute %d truncated", code)
+		}
+		val := b[off : off+alen]
+		switch code {
+		case AttrOrigin:
+			if alen != 1 {
+				return nil, fmt.Errorf("wire: ORIGIN length %d", alen)
+			}
+			if val[0] > OriginIncomplete {
+				return nil, fmt.Errorf("wire: ORIGIN code %d", val[0])
+			}
+			a.Origin, seenOrigin = val[0], true
+		case AttrASPath:
+			segs, err := parseASPath(val)
+			if err != nil {
+				return nil, err
+			}
+			a.ASPath, seenPath = segs, true
+		case AttrNextHop:
+			if alen != 4 {
+				return nil, fmt.Errorf("wire: NEXT_HOP length %d", alen)
+			}
+			a.NextHop, seenNH = netip.AddrFrom4([4]byte(val)), true
+		case AttrMED:
+			if alen != 4 {
+				return nil, fmt.Errorf("wire: MED length %d", alen)
+			}
+			a.MED, a.HasMED = binary.BigEndian.Uint32(val), true
+		case AttrLocalPref:
+			if alen != 4 {
+				return nil, fmt.Errorf("wire: LOCAL_PREF length %d", alen)
+			}
+			a.LocalPref, a.HasLocal = binary.BigEndian.Uint32(val), true
+		case AttrCommunity:
+			if alen%4 != 0 {
+				return nil, fmt.Errorf("wire: COMMUNITY length %d", alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				a.Communities = append(a.Communities, binary.BigEndian.Uint32(val[i:]))
+			}
+		default:
+			// Unknown optional attributes are tolerated; unknown well-known
+			// attributes are an error (RFC 4271 §6.3).
+			if flags&flagOptional == 0 {
+				return nil, fmt.Errorf("wire: unrecognized well-known attribute %d", code)
+			}
+		}
+		b = b[off+alen:]
+	}
+	if !seenOrigin || !seenPath || !seenNH {
+		return nil, fmt.Errorf("wire: missing mandatory attribute (origin=%v path=%v nexthop=%v)",
+			seenOrigin, seenPath, seenNH)
+	}
+	return a, nil
+}
+
+func parseASPath(b []byte) ([]ASPathSegment, error) {
+	var segs []ASPathSegment
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("wire: AS_PATH segment header truncated")
+		}
+		segType, n := b[0], int(b[1])
+		if segType != ASSet && segType != ASSequence {
+			return nil, fmt.Errorf("wire: AS_PATH segment type %d", segType)
+		}
+		if len(b) < 2+4*n {
+			return nil, fmt.Errorf("wire: AS_PATH segment truncated")
+		}
+		seg := ASPathSegment{Type: segType}
+		for i := 0; i < n; i++ {
+			seg.ASNs = append(seg.ASNs, binary.BigEndian.Uint32(b[2+4*i:]))
+		}
+		segs = append(segs, seg)
+		b = b[2+4*n:]
+	}
+	return segs, nil
+}

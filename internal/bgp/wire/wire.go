@@ -1,0 +1,235 @@
+// Package wire implements BGP-4 message encoding and decoding (RFC 4271,
+// with 4-octet AS numbers per RFC 6793 carried in AS_PATH).
+//
+// The paper's orchestrator runs GoBGP and injects anycast announcements over
+// GRE-tunneled sessions to the testbed's routers. This package plus package
+// speaker play that role here: announcements enter the simulation through a
+// genuine, byte-exact BGP session, so the integration tests cover the same
+// control-plane path a production deployment would use.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Message types (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// HeaderLen is the fixed BGP message header size.
+const HeaderLen = 19
+
+// MaxMessageLen is the maximum BGP message size.
+const MaxMessageLen = 4096
+
+// Marker is the all-ones marker field required by RFC 4271.
+var marker = [16]byte{
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// Message is any BGP message body.
+type Message interface {
+	// Type returns the message type code.
+	Type() uint8
+	// body serializes the message after the common header.
+	body() ([]byte, error)
+}
+
+// Marshal frames a message with the BGP header.
+func Marshal(m Message) ([]byte, error) {
+	body, err := m.body()
+	if err != nil {
+		return nil, err
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("wire: message length %d exceeds %d", total, MaxMessageLen)
+	}
+	b := make([]byte, total)
+	copy(b, marker[:])
+	binary.BigEndian.PutUint16(b[16:], uint16(total))
+	b[18] = m.Type()
+	copy(b[HeaderLen:], body)
+	return b, nil
+}
+
+// ParseHeader validates a message header and returns the type and total
+// message length.
+func ParseHeader(b []byte) (msgType uint8, length int, err error) {
+	if len(b) < HeaderLen {
+		return 0, 0, fmt.Errorf("wire: header truncated: %d bytes", len(b))
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != 0xff {
+			return 0, 0, fmt.Errorf("wire: bad marker byte %#x at %d", b[i], i)
+		}
+	}
+	length = int(binary.BigEndian.Uint16(b[16:]))
+	msgType = b[18]
+	if length < HeaderLen || length > MaxMessageLen {
+		return 0, 0, fmt.Errorf("wire: bad message length %d", length)
+	}
+	switch msgType {
+	case TypeOpen, TypeUpdate, TypeNotification, TypeKeepalive:
+	default:
+		return 0, 0, fmt.Errorf("wire: unknown message type %d", msgType)
+	}
+	return msgType, length, nil
+}
+
+// Parse decodes a complete framed message.
+func Parse(b []byte) (Message, error) {
+	msgType, length, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < length {
+		return nil, fmt.Errorf("wire: message truncated: have %d of %d bytes", len(b), length)
+	}
+	body := b[HeaderLen:length]
+	switch msgType {
+	case TypeOpen:
+		return parseOpen(body)
+	case TypeUpdate:
+		return parseUpdate(body)
+	case TypeNotification:
+		return parseNotification(body)
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("wire: KEEPALIVE with %d body bytes", len(body))
+		}
+		return &Keepalive{}, nil
+	}
+	panic("unreachable")
+}
+
+// Open is a BGP OPEN message (§4.2).
+type Open struct {
+	Version  uint8
+	AS       uint16 // AS_TRANS (23456) when the real ASN needs 4 octets
+	HoldTime uint16
+	RouterID uint32
+	// OptParams carries raw optional parameters (e.g., capabilities).
+	OptParams []byte
+}
+
+// Type implements Message.
+func (*Open) Type() uint8 { return TypeOpen }
+
+func (o *Open) body() ([]byte, error) {
+	if len(o.OptParams) > 255 {
+		return nil, fmt.Errorf("wire: optional parameters too long: %d", len(o.OptParams))
+	}
+	b := make([]byte, 10+len(o.OptParams))
+	b[0] = o.Version
+	binary.BigEndian.PutUint16(b[1:], o.AS)
+	binary.BigEndian.PutUint16(b[3:], o.HoldTime)
+	binary.BigEndian.PutUint32(b[5:], o.RouterID)
+	b[9] = uint8(len(o.OptParams))
+	copy(b[10:], o.OptParams)
+	return b, nil
+}
+
+func parseOpen(b []byte) (*Open, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("wire: OPEN truncated: %d bytes", len(b))
+	}
+	o := &Open{
+		Version:  b[0],
+		AS:       binary.BigEndian.Uint16(b[1:]),
+		HoldTime: binary.BigEndian.Uint16(b[3:]),
+		RouterID: binary.BigEndian.Uint32(b[5:]),
+	}
+	optLen := int(b[9])
+	if len(b) != 10+optLen {
+		return nil, fmt.Errorf("wire: OPEN optional parameter length %d does not match body", optLen)
+	}
+	o.OptParams = append([]byte(nil), b[10:]...)
+	return o, nil
+}
+
+// Keepalive is a BGP KEEPALIVE message (§4.4).
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() uint8 { return TypeKeepalive }
+
+func (*Keepalive) body() ([]byte, error) { return nil, nil }
+
+// Notification is a BGP NOTIFICATION message (§4.5).
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() uint8 { return TypeNotification }
+
+func (n *Notification) body() ([]byte, error) {
+	b := make([]byte, 2+len(n.Data))
+	b[0] = n.Code
+	b[1] = n.Subcode
+	copy(b[2:], n.Data)
+	return b, nil
+}
+
+func parseNotification(b []byte) (*Notification, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("wire: NOTIFICATION truncated")
+	}
+	return &Notification{Code: b[0], Subcode: b[1], Data: append([]byte(nil), b[2:]...)}, nil
+}
+
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp notification: code %d subcode %d", n.Code, n.Subcode)
+}
+
+// IPv4Prefix is an NLRI entry.
+type IPv4Prefix struct {
+	Prefix netip.Prefix
+}
+
+func marshalPrefixes(ps []netip.Prefix) ([]byte, error) {
+	var out []byte
+	for _, p := range ps {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("wire: non-IPv4 prefix %v", p)
+		}
+		bits := p.Bits()
+		out = append(out, byte(bits))
+		a := p.Addr().As4()
+		out = append(out, a[:(bits+7)/8]...)
+	}
+	return out, nil
+}
+
+func parsePrefixes(b []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		bits := int(b[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("wire: prefix length %d > 32", bits)
+		}
+		n := (bits + 7) / 8
+		if len(b) < 1+n {
+			return nil, fmt.Errorf("wire: prefix truncated")
+		}
+		var a [4]byte
+		copy(a[:], b[1:1+n])
+		p := netip.PrefixFrom(netip.AddrFrom4(a), bits)
+		if p.Masked() != p {
+			return nil, fmt.Errorf("wire: prefix %v has bits set beyond its length", p)
+		}
+		out = append(out, p)
+		b = b[1+n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustMarshal(t *testing.T, m Message) []byte {
+	t.Helper()
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	return b
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	b := mustMarshal(t, &Keepalive{})
+	if len(b) != HeaderLen {
+		t.Errorf("KEEPALIVE length = %d, want %d", len(b), HeaderLen)
+	}
+	m, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*Keepalive); !ok {
+		t.Errorf("parsed %T, want *Keepalive", m)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := &Open{Version: 4, AS: 64512, HoldTime: 90, RouterID: 0x0a000001, OptParams: []byte{2, 0}}
+	m, err := Parse(mustMarshal(t, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*Open)
+	if !reflect.DeepEqual(got, o) {
+		t.Errorf("round trip: %+v, want %+v", got, o)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := &Notification{Code: 6, Subcode: 2, Data: []byte("shutdown")}
+	m, err := Parse(mustMarshal(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*Notification)
+	if got.Code != 6 || got.Subcode != 2 || !bytes.Equal(got.Data, n.Data) {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func testAttrs() *PathAttrs {
+	return &PathAttrs{
+		Origin: OriginIGP,
+		ASPath: []ASPathSegment{
+			{Type: ASSequence, ASNs: []uint32{64512, 3356, 174}},
+		},
+		NextHop:     netip.MustParseAddr("192.0.2.1"),
+		MED:         50,
+		HasMED:      true,
+		LocalPref:   200,
+		HasLocal:    true,
+		Communities: []uint32{0xfde80001, 0xfde80002},
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := &Update{
+		Withdrawn: []netip.Prefix{pfx("203.0.113.0/24")},
+		Attrs:     testAttrs(),
+		NLRI:      []netip.Prefix{pfx("198.51.100.0/24"), pfx("192.0.2.0/25")},
+	}
+	m, err := Parse(mustMarshal(t, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*Update)
+	if !reflect.DeepEqual(got.Withdrawn, u.Withdrawn) {
+		t.Errorf("withdrawn = %v, want %v", got.Withdrawn, u.Withdrawn)
+	}
+	if !reflect.DeepEqual(got.NLRI, u.NLRI) {
+		t.Errorf("nlri = %v, want %v", got.NLRI, u.NLRI)
+	}
+	if !reflect.DeepEqual(got.Attrs, u.Attrs) {
+		t.Errorf("attrs = %+v, want %+v", got.Attrs, u.Attrs)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	u := &Update{Withdrawn: []netip.Prefix{pfx("10.0.0.0/8")}}
+	m, err := Parse(mustMarshal(t, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*Update)
+	if got.Attrs != nil || len(got.NLRI) != 0 {
+		t.Errorf("withdraw-only update grew attrs/nlri: %+v", got)
+	}
+}
+
+func TestUpdateNLRIRequiresAttrs(t *testing.T) {
+	u := &Update{NLRI: []netip.Prefix{pfx("10.0.0.0/8")}}
+	if _, err := Marshal(u); err == nil {
+		t.Error("NLRI without attributes marshaled")
+	}
+}
+
+func TestASPathLenCountsSetsAsOne(t *testing.T) {
+	a := &PathAttrs{ASPath: []ASPathSegment{
+		{Type: ASSequence, ASNs: []uint32{1, 2, 3}},
+		{Type: ASSet, ASNs: []uint32{4, 5}},
+	}}
+	if got := a.ASPathLen(); got != 4 {
+		t.Errorf("ASPathLen = %d, want 4 (3 + set counted once)", got)
+	}
+	flat := a.FlatASPath()
+	if len(flat) != 5 {
+		t.Errorf("FlatASPath = %v", flat)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	good := mustMarshal(t, &Keepalive{})
+
+	short := good[:10]
+	if _, _, err := ParseHeader(short); err == nil {
+		t.Error("short header accepted")
+	}
+
+	badMarker := append([]byte(nil), good...)
+	badMarker[3] = 0
+	if _, _, err := ParseHeader(badMarker); err == nil {
+		t.Error("bad marker accepted")
+	}
+
+	badType := append([]byte(nil), good...)
+	badType[18] = 9
+	if _, _, err := ParseHeader(badType); err == nil {
+		t.Error("unknown type accepted")
+	}
+
+	badLen := append([]byte(nil), good...)
+	badLen[16], badLen[17] = 0xff, 0xff
+	if _, _, err := ParseHeader(badLen); err == nil {
+		t.Error("oversize length accepted")
+	}
+}
+
+func TestParseTruncatedUpdateBodies(t *testing.T) {
+	u := &Update{Attrs: testAttrs(), NLRI: []netip.Prefix{pfx("198.51.100.0/24")}}
+	full := mustMarshal(t, u)
+	// Every truncation point inside the body must error, never panic — with
+	// one exception: cutting exactly at the attributes/NLRI boundary leaves
+	// a legal UPDATE that simply advertises nothing.
+	nlriBoundary := len(full) - 4 // the single /24 NLRI entry occupies 4 bytes
+	for cut := HeaderLen; cut < len(full); cut++ {
+		trunc := append([]byte(nil), full[:cut]...)
+		// Fix the header length so the parser attempts the short body.
+		trunc[16], trunc[17] = byte(cut>>8), byte(cut)
+		_, err := Parse(trunc)
+		if cut == nlriBoundary {
+			if err != nil {
+				t.Errorf("cut at NLRI boundary should be a legal empty-NLRI update, got %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("truncation at %d parsed successfully", cut)
+		}
+	}
+}
+
+func TestMissingMandatoryAttr(t *testing.T) {
+	// Hand-build an UPDATE whose attributes lack NEXT_HOP.
+	var attrs []byte
+	attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{OriginIGP})
+	attrs = appendAttr(attrs, flagTransitive, AttrASPath, []byte{ASSequence, 1, 0, 0, 0xfc, 0})
+	body := []byte{0, 0, 0, byte(len(attrs))}
+	body = append(body, attrs...)
+	body = append(body, 24, 198, 51, 100) // NLRI
+	b := make([]byte, HeaderLen+len(body))
+	copy(b, marker[:])
+	b[16], b[17] = byte(len(b)>>8), byte(len(b))
+	b[18] = TypeUpdate
+	copy(b[HeaderLen:], body)
+	if _, err := Parse(b); err == nil {
+		t.Error("UPDATE missing NEXT_HOP accepted")
+	}
+}
+
+func TestUnknownOptionalAttrTolerated(t *testing.T) {
+	var attrs []byte
+	attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{OriginIGP})
+	attrs = appendAttr(attrs, flagTransitive, AttrASPath, []byte{ASSequence, 1, 0, 0, 0xfc, 0})
+	attrs = appendAttr(attrs, flagTransitive, AttrNextHop, []byte{192, 0, 2, 1})
+	attrs = appendAttr(attrs, flagOptional|flagTransitive, 200, []byte{1, 2, 3}) // unknown optional
+	body := []byte{0, 0, 0, byte(len(attrs))}
+	body = append(body, attrs...)
+	b := make([]byte, HeaderLen+len(body))
+	copy(b, marker[:])
+	b[16], b[17] = byte(len(b)>>8), byte(len(b))
+	b[18] = TypeUpdate
+	copy(b[HeaderLen:], body)
+	if _, err := Parse(b); err != nil {
+		t.Errorf("unknown optional attribute rejected: %v", err)
+	}
+
+	// The same attribute as well-known must be rejected.
+	attrs2 := attrs[:len(attrs)-6]
+	attrs2 = appendAttr(attrs2, 0, 200, []byte{1, 2, 3})
+	body2 := []byte{0, 0, 0, byte(len(attrs2))}
+	body2 = append(body2, attrs2...)
+	b2 := make([]byte, HeaderLen+len(body2))
+	copy(b2, marker[:])
+	b2[16], b2[17] = byte(len(b2)>>8), byte(len(b2))
+	b2[18] = TypeUpdate
+	copy(b2[HeaderLen:], body2)
+	if _, err := Parse(b2); err == nil {
+		t.Error("unknown well-known attribute accepted")
+	}
+}
+
+func TestPrefixBitsBeyondLengthRejected(t *testing.T) {
+	// 198.51.100.0/22 encoded with a dirty last byte (host bits set).
+	body := []byte{0, 4, 22, 198, 51, 101, 0, 0}
+	b := make([]byte, HeaderLen+len(body))
+	copy(b, marker[:])
+	b[16], b[17] = byte(len(b)>>8), byte(len(b))
+	b[18] = TypeUpdate
+	copy(b[HeaderLen:], body)
+	if _, err := Parse(b); err == nil {
+		t.Error("prefix with dirty host bits accepted")
+	}
+}
+
+func TestPropertyUpdateRoundTrip(t *testing.T) {
+	f := func(asns []uint32, medSet bool, med uint32, nPfx uint8, seed uint32) bool {
+		if len(asns) == 0 {
+			asns = []uint32{64512}
+		}
+		if len(asns) > 50 {
+			asns = asns[:50]
+		}
+		a := &PathAttrs{
+			Origin:  OriginIncomplete,
+			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: asns}},
+			NextHop: netip.AddrFrom4([4]byte{byte(seed), byte(seed >> 8), byte(seed >> 16), byte(seed >> 24)}),
+			MED:     med, HasMED: medSet,
+		}
+		var nlri []netip.Prefix
+		for i := 0; i < int(nPfx%8)+1; i++ {
+			bits := 8 + (int(seed)+i*5)%25
+			addr := netip.AddrFrom4([4]byte{byte(10 + i), byte(seed >> 3), byte(seed >> 11), 0})
+			nlri = append(nlri, netip.PrefixFrom(addr, bits).Masked())
+		}
+		u := &Update{Attrs: a, NLRI: nlri}
+		b, err := Marshal(u)
+		if err != nil {
+			return false
+		}
+		m, err := Parse(b)
+		if err != nil {
+			return false
+		}
+		got := m.(*Update)
+		return reflect.DeepEqual(got.Attrs.ASPath, a.ASPath) &&
+			got.Attrs.NextHop == a.NextHop &&
+			got.Attrs.HasMED == medSet && (!medSet || got.Attrs.MED == med) &&
+			reflect.DeepEqual(got.NLRI, nlri)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %x: %v", data, r)
+			}
+		}()
+		_, _ = Parse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUpdateRoundTrip(b *testing.B) {
+	u := &Update{Attrs: testAttrs(), NLRI: []netip.Prefix{pfx("198.51.100.0/24")}}
+	for i := 0; i < b.N; i++ {
+		buf, err := Marshal(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Parse(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

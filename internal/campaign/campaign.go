@@ -1,0 +1,129 @@
+// Package campaign persists and restores the outputs of a measurement
+// campaign — provider- and site-level preference stores, the RTT table, and
+// the chosen announcement order — as JSON.
+//
+// A real AnyOpt campaign costs weeks of wall-clock BGP experiments (§4.5),
+// so its results are an asset: operators re-run the offline optimization
+// against saved measurements whenever requirements change, and only
+// re-measure on the paper's monthly cadence. Save/Load makes the predictor
+// reproducible from a file.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"anyopt"
+	"anyopt/internal/core/discovery"
+	"anyopt/internal/core/predict"
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/topology"
+)
+
+// FormatVersion guards against loading incompatible snapshots.
+const FormatVersion = 1
+
+// storeDump serializes one preference store.
+type storeDump struct {
+	Items     []prefs.Item           `json:"items"`
+	Relations []prefs.DumpedRelation `json:"relations"`
+}
+
+// Snapshot is the serialized form of a campaign.
+type Snapshot struct {
+	Version int `json:"version"`
+	// Sites echoes the testbed layout for sanity checking at load time.
+	Sites int `json:"sites"`
+	// UseRTTHeuristic records the discovery mode.
+	UseRTTHeuristic bool `json:"use_rtt_heuristic"`
+	// AnnOrder is the chosen provider announcement order.
+	AnnOrder []prefs.Item `json:"ann_order"`
+
+	Providers   storeDump                      `json:"providers"`
+	SiteStores  map[topology.ASN]storeDump     `json:"site_stores,omitempty"`
+	RTT         map[int]map[prefs.Client]int64 `json:"rtt"`
+	Experiments int                            `json:"experiments"`
+}
+
+func dumpStore(s *prefs.Store) storeDump {
+	return storeDump{Items: s.Items(), Relations: s.Dump()}
+}
+
+func restoreStore(d storeDump) (*prefs.Store, error) {
+	s, err := prefs.NewStore(d.Items)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(d.Relations); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Save writes sys's discovery results to w. RunDiscovery must have been
+// executed.
+func Save(w io.Writer, sys *anyopt.System) error {
+	if sys.Pred == nil {
+		return fmt.Errorf("campaign: system has no discovery results to save")
+	}
+	snap := Snapshot{
+		Version:         FormatVersion,
+		Sites:           len(sys.TB.Sites),
+		UseRTTHeuristic: sys.Pred.UseRTTHeuristic,
+		AnnOrder:        sys.AnnOrder,
+		Providers:       dumpStore(sys.Pred.Providers),
+		RTT:             sys.RTT.Export(),
+		Experiments:     sys.Disc.Experiments,
+	}
+	if len(sys.Pred.Sites) > 0 {
+		snap.SiteStores = make(map[topology.ASN]storeDump, len(sys.Pred.Sites))
+		for prov, st := range sys.Pred.Sites {
+			if st != nil {
+				snap.SiteStores[prov] = dumpStore(st)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&snap)
+}
+
+// Load restores discovery results from r into sys, replacing any previous
+// campaign. The testbed must structurally match the one that produced the
+// snapshot.
+func Load(r io.Reader, sys *anyopt.System) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("campaign: decoding snapshot: %w", err)
+	}
+	if snap.Version != FormatVersion {
+		return fmt.Errorf("campaign: snapshot version %d, want %d", snap.Version, FormatVersion)
+	}
+	if snap.Sites != len(sys.TB.Sites) {
+		return fmt.Errorf("campaign: snapshot has %d sites, testbed has %d", snap.Sites, len(sys.TB.Sites))
+	}
+	providers, err := restoreStore(snap.Providers)
+	if err != nil {
+		return fmt.Errorf("campaign: provider store: %w", err)
+	}
+	siteStores := make(map[topology.ASN]*prefs.Store, len(snap.SiteStores))
+	for prov, d := range snap.SiteStores {
+		st, err := restoreStore(d)
+		if err != nil {
+			return fmt.Errorf("campaign: site store for provider %d: %w", prov, err)
+		}
+		siteStores[prov] = st
+	}
+	rtt := discovery.ImportRTTTable(snap.RTT)
+	sys.Pred = &predict.Predictor{
+		TB:              sys.TB,
+		Providers:       providers,
+		Sites:           siteStores,
+		RTT:             rtt,
+		UseRTTHeuristic: snap.UseRTTHeuristic,
+	}
+	sys.RTT = rtt
+	sys.AnnOrder = snap.AnnOrder
+	return nil
+}

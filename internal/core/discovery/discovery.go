@@ -1,0 +1,543 @@
+// Package discovery plans and runs AnyOpt's measurement experiments (§3,
+// §4.3, §4.5): singleton announcements for RTT measurement, order-controlled
+// pairwise announcements for provider-level preference discovery, intra-AS
+// pairwise experiments for site-level preferences, and the naive
+// (simultaneous-announcement) variants the paper compares against.
+//
+// Every experiment runs on a fresh BGP simulation with a fresh jitter nonce,
+// reflecting that real experiments happen hours apart on an Internet whose
+// races never replay identically. The prefix is withdrawn between
+// experiments, as the paper does.
+package discovery
+
+import (
+	"fmt"
+	"time"
+
+	"anyopt/internal/bgp"
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/probe"
+	"anyopt/internal/testbed"
+	"anyopt/internal/topology"
+)
+
+// Config parameterizes a discovery campaign.
+type Config struct {
+	// SimCfg is the base simulator configuration; JitterNonce is replaced
+	// per experiment.
+	SimCfg bgp.Config
+	// Spacing separates ordered announcements within one experiment (§5.1
+	// uses six minutes).
+	Spacing time.Duration
+	// NoiseSeed seeds per-experiment measurement noise; Noisy toggles it.
+	NoiseSeed int64
+	Noisy     bool
+	// ProbeAttempts overrides the per-measurement attempt count (default 7).
+	ProbeAttempts int
+}
+
+// DefaultConfig returns the paper-faithful campaign settings.
+func DefaultConfig() Config {
+	return Config{
+		SimCfg:  bgp.DefaultConfig(),
+		Spacing: 6 * time.Minute,
+		Noisy:   true,
+	}
+}
+
+// Discovery runs experiments against one testbed.
+type Discovery struct {
+	TB  *testbed.Testbed
+	Cfg Config
+
+	// Experiments counts BGP experiments run, for §4.5 schedule accounting.
+	Experiments int
+	// Slots counts sequential experiment slots consumed; parallel prefixes
+	// pack several experiments into one slot (§4.5).
+	Slots int
+	// ProbesSent counts measurement packets.
+	ProbesSent uint64
+
+	nonce uint64
+}
+
+// New creates a discovery campaign over tb.
+func New(tb *testbed.Testbed, cfg Config) *Discovery {
+	if cfg.Spacing <= 0 {
+		cfg.Spacing = 6 * time.Minute
+	}
+	return &Discovery{TB: tb, Cfg: cfg}
+}
+
+// freshSim builds a new simulation with a fresh jitter nonce, modeling an
+// independent experiment run.
+func (d *Discovery) freshSim() *bgp.Sim {
+	d.nonce++
+	cfg := d.Cfg.SimCfg
+	cfg.JitterNonce = d.nonce
+	return bgp.New(d.TB.Topo, cfg)
+}
+
+// prober builds a measurement prober over sim with per-experiment noise.
+func (d *Discovery) prober(sim *bgp.Sim) *probe.Prober {
+	var noise *probe.NoiseModel
+	if d.Cfg.Noisy {
+		noise = probe.DefaultNoise(d.Cfg.NoiseSeed + int64(d.nonce)*7919)
+	}
+	fab := probe.NewSimFabric(d.TB, sim, 0, noise)
+	cfg := probe.DefaultConfig(d.TB.OrchAddr, d.TB.AnycastAddrs[0])
+	if d.Cfg.ProbeAttempts > 0 {
+		cfg.Attempts = d.Cfg.ProbeAttempts
+	}
+	return probe.New(fab, cfg, sim.Engine.Now())
+}
+
+// Observation is one client's measured state under a deployed configuration.
+type Observation struct {
+	// Site is the catchment site ID.
+	Site int
+	// Link is the exact origin-side link the reply entered over (transit or
+	// peering), decoded from the per-interface GRE key.
+	Link topology.LinkID
+	// RTT is the measured client↔site RTT; valid only when HasRTT.
+	RTT    time.Duration
+	HasRTT bool
+}
+
+// observe measures every target's catchment (and optionally RTT) under the
+// current routing state. Targets whose probes are lost or unroutable are
+// absent from the result.
+func (d *Discovery) observe(sim *bgp.Sim, p *probe.Prober, withRTT bool) map[prefs.Client]Observation {
+	out := make(map[prefs.Client]Observation, len(d.TB.Topo.Targets))
+	for _, tg := range d.TB.Topo.Targets {
+		key, err := p.CatchmentRetry(tg.Addr, 3)
+		if err != nil {
+			continue
+		}
+		site := d.TB.SiteByTunnelKey(key)
+		link, okLink := d.TB.LinkByTunnelKey(key)
+		if site == nil || !okLink {
+			continue
+		}
+		obs := Observation{Site: site.ID, Link: link}
+		if withRTT {
+			if rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr); err == nil {
+				obs.RTT, obs.HasRTT = rtt, true
+			}
+		}
+		out[prefs.Client(tg.AS)] = obs
+	}
+	d.ProbesSent += p.Sent
+	return out
+}
+
+// catchments reduces observe to site IDs, for preference discovery.
+func (d *Discovery) catchments(sim *bgp.Sim, p *probe.Prober) map[prefs.Client]int {
+	out := make(map[prefs.Client]int)
+	for c, obs := range d.observe(sim, p, false) {
+		out[c] = obs.Site
+	}
+	return out
+}
+
+// RunConfigurationWithPeers deploys site IDs in announcement order, then
+// additionally announces the given peering links (after the sites), and
+// returns full per-client observations including RTTs — the workhorse of the
+// one-pass peering experiments (§4.4).
+func (d *Discovery) RunConfigurationWithPeers(siteIDs []int, peers []topology.LinkID) map[prefs.Client]Observation {
+	d.Experiments++
+	sim := d.freshSim()
+	dep := d.TB.NewDeployment(sim, 0)
+	dep.Spacing = d.Cfg.Spacing
+	dep.AnnounceSites(siteIDs...)
+	for _, pl := range peers {
+		dep.EnablePeer(pl)
+	}
+	return d.observe(sim, d.prober(sim), true)
+}
+
+// RunConfiguration deploys the given site IDs in announcement order (spaced)
+// and measures every target's catchment — the "deploy and measure" step of
+// §5.2. It returns the measured catchments (site IDs per client).
+func (d *Discovery) RunConfiguration(siteIDs []int) map[prefs.Client]int {
+	d.Experiments++
+	sim := d.freshSim()
+	dep := d.TB.NewDeployment(sim, 0)
+	dep.Spacing = d.Cfg.Spacing
+	dep.AnnounceSites(siteIDs...)
+	return d.catchments(sim, d.prober(sim))
+}
+
+// RunConfigurationRTTs deploys a configuration and measures, for every
+// target, the RTT to its measured catchment site (catchment probe, then a
+// tunneled RTT probe through that site), mirroring the enhanced Verfploeter
+// methodology. It returns per-client catchment sites and RTTs.
+func (d *Discovery) RunConfigurationRTTs(siteIDs []int) (map[prefs.Client]int, map[prefs.Client]time.Duration) {
+	d.Experiments++
+	sim := d.freshSim()
+	dep := d.TB.NewDeployment(sim, 0)
+	dep.Spacing = d.Cfg.Spacing
+	dep.AnnounceSites(siteIDs...)
+
+	catch := make(map[prefs.Client]int, len(d.TB.Topo.Targets))
+	rtts := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
+	for c, obs := range d.observe(sim, d.prober(sim), true) {
+		catch[c] = obs.Site
+		if obs.HasRTT {
+			rtts[c] = obs.RTT
+		}
+	}
+	return catch, rtts
+}
+
+// RTTTable holds site↔client RTTs from singleton experiments.
+type RTTTable struct {
+	bySite map[int]map[prefs.Client]time.Duration
+}
+
+// RTT returns the measured RTT between site and client.
+func (t *RTTTable) RTT(site int, c prefs.Client) (time.Duration, bool) {
+	m := t.bySite[site]
+	if m == nil {
+		return 0, false
+	}
+	d, ok := m[c]
+	return d, ok
+}
+
+// Sites returns the site IDs present in the table.
+func (t *RTTTable) Sites() []int {
+	var out []int
+	for s := range t.bySite {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Clients returns the number of clients measured for the given site.
+func (t *RTTTable) Clients(site int) int { return len(t.bySite[site]) }
+
+// MeanUnicast returns the mean RTT from site to all measured clients — the
+// metric the paper's greedy baseline ranks sites by.
+func (t *RTTTable) MeanUnicast(site int) time.Duration {
+	m := t.bySite[site]
+	if len(m) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range m {
+		sum += d
+	}
+	return sum / time.Duration(len(m))
+}
+
+// MeasureRTTs runs one singleton experiment per site (§4.5 step 1): announce
+// the prefix from that site alone, then measure the RTT from every target.
+func (d *Discovery) MeasureRTTs(siteIDs []int) (*RTTTable, error) {
+	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
+	for _, id := range siteIDs {
+		site := d.TB.Site(id)
+		if site == nil {
+			return nil, fmt.Errorf("discovery: unknown site %d", id)
+		}
+		d.Experiments++
+		sim := d.freshSim()
+		dep := d.TB.NewDeployment(sim, 0)
+		dep.AnnounceSites(id)
+		p := d.prober(sim)
+
+		m := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
+		for _, tg := range d.TB.Topo.Targets {
+			rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
+			if err != nil {
+				continue
+			}
+			m[prefs.Client(tg.AS)] = rtt
+		}
+		d.ProbesSent += p.Sent
+		tbl.bySite[id] = m
+	}
+	return tbl, nil
+}
+
+// MeasureRTTsParallel is MeasureRTTs with the §4.5 parallelization: up to
+// one singleton experiment per test anycast prefix runs in the same
+// experiment slot, dividing campaign wall-clock by the prefix count (the
+// paper runs four prefixes to turn 1000 hours into 250). The per-site
+// results match serial measurement up to race and noise effects.
+func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
+	nPrefixes := len(d.TB.AnycastAddrs)
+	if nPrefixes == 0 {
+		return nil, fmt.Errorf("discovery: testbed has no anycast prefixes")
+	}
+	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
+	for start := 0; start < len(siteIDs); start += nPrefixes {
+		batch := siteIDs[start:min(start+nPrefixes, len(siteIDs))]
+		sim := d.freshSim()
+		// One prefix per site, announced simultaneously: distinct prefixes
+		// never interact, so a slot carries len(batch) experiments.
+		for i, id := range batch {
+			site := d.TB.Site(id)
+			if site == nil {
+				return nil, fmt.Errorf("discovery: unknown site %d", id)
+			}
+			d.Experiments++
+			sim.Announce(bgp.PrefixID(i), d.TB.Origin, site.TransitLink, 0)
+		}
+		sim.Converge()
+		d.Slots++
+		for i, id := range batch {
+			site := d.TB.Site(id)
+			var noise *probe.NoiseModel
+			if d.Cfg.Noisy {
+				noise = probe.DefaultNoise(d.Cfg.NoiseSeed + int64(d.nonce)*7919 + int64(i))
+			}
+			fab := probe.NewSimFabric(d.TB, sim, bgp.PrefixID(i), noise)
+			cfg := probe.DefaultConfig(d.TB.OrchAddr, d.TB.AnycastAddrs[i])
+			if d.Cfg.ProbeAttempts > 0 {
+				cfg.Attempts = d.Cfg.ProbeAttempts
+			}
+			p := probe.New(fab, cfg, sim.Engine.Now())
+
+			m := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
+			for _, tg := range d.TB.Topo.Targets {
+				rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
+				if err != nil {
+					continue
+				}
+				m[prefs.Client(tg.AS)] = rtt
+			}
+			d.ProbesSent += p.Sent
+			tbl.bySite[id] = m
+		}
+	}
+	return tbl, nil
+}
+
+// Representatives picks the default representative site (lowest ID) for each
+// transit provider.
+func (d *Discovery) Representatives() map[topology.ASN]int {
+	reps := make(map[topology.ASN]int)
+	for _, s := range d.TB.Sites {
+		if cur, ok := reps[s.Transit]; !ok || s.ID < cur {
+			reps[s.Transit] = s.ID
+		}
+	}
+	return reps
+}
+
+// ProviderPrefs discovers each client's pairwise preferences between transit
+// providers using order-controlled experiments (§4.3 "Provider-Level
+// Preference Discovery"): for every provider pair, one representative site
+// per provider is announced in both orders, six minutes apart.
+func (d *Discovery) ProviderPrefs(reps map[topology.ASN]int) (*prefs.Store, error) {
+	providers := d.TB.TransitProviders()
+	items := make([]prefs.Item, len(providers))
+	for i, p := range providers {
+		items[i] = prefs.Item(p)
+	}
+	store, err := prefs.NewStore(items)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < len(providers); a++ {
+		for b := a + 1; b < len(providers); b++ {
+			pa, pb := providers[a], providers[b]
+			sa, ok := reps[pa]
+			if !ok {
+				return nil, fmt.Errorf("discovery: no representative for provider %d", pa)
+			}
+			sb, ok := reps[pb]
+			if !ok {
+				return nil, fmt.Errorf("discovery: no representative for provider %d", pb)
+			}
+			winAB := d.RunConfiguration([]int{sa, sb}) // a's rep announced first
+			winBA := d.RunConfiguration([]int{sb, sa}) // reversed
+			for c, siteAB := range winAB {
+				siteBA, ok := winBA[c]
+				if !ok {
+					continue // lost probes in one experiment: skip client
+				}
+				provOf := func(siteID int) prefs.Item {
+					return prefs.Item(d.TB.Site(siteID).Transit)
+				}
+				if err := store.RecordOrdered(c, prefs.Item(pa), prefs.Item(pb),
+					provOf(siteAB), provOf(siteBA)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return store, nil
+}
+
+// ProviderPrefsNaive is the order-oblivious baseline: both representatives
+// announced simultaneously, one experiment per pair, winner recorded as a
+// strict preference (§5.1 "without considering the order of BGP
+// announcements").
+func (d *Discovery) ProviderPrefsNaive(reps map[topology.ASN]int) (*prefs.Store, error) {
+	providers := d.TB.TransitProviders()
+	items := make([]prefs.Item, len(providers))
+	for i, p := range providers {
+		items[i] = prefs.Item(p)
+	}
+	store, err := prefs.NewStore(items)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < len(providers); a++ {
+		for b := a + 1; b < len(providers); b++ {
+			pa, pb := providers[a], providers[b]
+			d.Experiments++
+			sim := d.freshSim()
+			dep := d.TB.NewDeployment(sim, 0)
+			dep.AnnounceSitesSimultaneously(reps[pa], reps[pb])
+			for c, siteID := range d.catchments(sim, d.prober(sim)) {
+				winner := prefs.Item(d.TB.Site(siteID).Transit)
+				if err := store.RecordSimultaneous(c, prefs.Item(pa), prefs.Item(pb), winner); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return store, nil
+}
+
+// SitePrefs discovers each client's site-level preferences among the sites of
+// one transit provider (§4.3 "Site-Level Preference Discovery"). Announcement
+// order does not matter inside an AS (interior routing decides), so a single
+// simultaneous experiment per pair suffices; the result is recorded as
+// strict.
+func (d *Discovery) SitePrefs(provider topology.ASN) (*prefs.Store, error) {
+	sites := d.TB.SitesOfTransit(provider)
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("discovery: provider %d hosts no sites", provider)
+	}
+	items := make([]prefs.Item, len(sites))
+	for i, s := range sites {
+		items[i] = prefs.Item(s.ID)
+	}
+	store, err := prefs.NewStore(items)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < len(sites); a++ {
+		for b := a + 1; b < len(sites); b++ {
+			d.Experiments++
+			sim := d.freshSim()
+			dep := d.TB.NewDeployment(sim, 0)
+			dep.AnnounceSitesSimultaneously(sites[a].ID, sites[b].ID)
+			for c, siteID := range d.catchments(sim, d.prober(sim)) {
+				if err := store.RecordSimultaneous(c,
+					prefs.Item(sites[a].ID), prefs.Item(sites[b].ID), prefs.Item(siteID)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return store, nil
+}
+
+// NaiveSitePrefs runs the flat order-oblivious baseline over arbitrary sites
+// across providers: every pair announced simultaneously once — the approach
+// whose total-order fraction collapses as sites are added (Figure 4c).
+func (d *Discovery) NaiveSitePrefs(siteIDs []int) (*prefs.Store, error) {
+	items := make([]prefs.Item, len(siteIDs))
+	for i, id := range siteIDs {
+		items[i] = prefs.Item(id)
+	}
+	store, err := prefs.NewStore(items)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < len(siteIDs); a++ {
+		for b := a + 1; b < len(siteIDs); b++ {
+			d.Experiments++
+			sim := d.freshSim()
+			dep := d.TB.NewDeployment(sim, 0)
+			dep.AnnounceSitesSimultaneously(siteIDs[a], siteIDs[b])
+			for c, siteID := range d.catchments(sim, d.prober(sim)) {
+				if err := store.RecordSimultaneous(c,
+					prefs.Item(siteIDs[a]), prefs.Item(siteIDs[b]), prefs.Item(siteID)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return store, nil
+}
+
+// Schedule estimates the wall-clock cost of a measurement campaign (§4.5
+// "Analysis"): experiments spaced two hours apart, parallelized across test
+// prefixes.
+type Schedule struct {
+	// SingletonExperiments is one per site (RTT measurement).
+	SingletonExperiments int
+	// PairwiseExperiments counts BGP pairwise runs (two per provider pair
+	// when order-controlled).
+	PairwiseExperiments int
+	// ParallelPrefixes is the number of test prefixes usable concurrently.
+	ParallelPrefixes int
+	// SpacingHours separates successive experiments on one prefix.
+	SpacingHours float64
+}
+
+// PlanTransitOnly builds the §4.5 schedule for a network with the given
+// numbers of sites and transit providers, using order-controlled pairwise
+// discovery at the provider level and the RTT heuristic at the site level.
+func PlanTransitOnly(sites, providers, parallelPrefixes int, orderControlled bool) Schedule {
+	pairs := providers * (providers - 1) / 2
+	if orderControlled {
+		pairs *= 2
+	}
+	if parallelPrefixes <= 0 {
+		parallelPrefixes = 1
+	}
+	return Schedule{
+		SingletonExperiments: sites,
+		PairwiseExperiments:  pairs,
+		ParallelPrefixes:     parallelPrefixes,
+		SpacingHours:         2,
+	}
+}
+
+// SingletonHours returns the wall-clock hours for the singleton phase.
+func (s Schedule) SingletonHours() float64 {
+	return float64(s.SingletonExperiments) * s.SpacingHours / float64(s.ParallelPrefixes)
+}
+
+// PairwiseHours returns the wall-clock hours for the pairwise phase.
+func (s Schedule) PairwiseHours() float64 {
+	return float64(s.PairwiseExperiments) * s.SpacingHours / float64(s.ParallelPrefixes)
+}
+
+// TotalDays returns the total campaign length in days.
+func (s Schedule) TotalDays() float64 {
+	return (s.SingletonHours() + s.PairwiseHours()) / 24
+}
+
+// Export serializes the table as site → client → RTT nanoseconds.
+func (t *RTTTable) Export() map[int]map[prefs.Client]int64 {
+	out := make(map[int]map[prefs.Client]int64, len(t.bySite))
+	for site, m := range t.bySite {
+		row := make(map[prefs.Client]int64, len(m))
+		for c, d := range m {
+			row[c] = int64(d)
+		}
+		out[site] = row
+	}
+	return out
+}
+
+// ImportRTTTable rebuilds a table from Export's format.
+func ImportRTTTable(data map[int]map[prefs.Client]int64) *RTTTable {
+	t := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(data))}
+	for site, row := range data {
+		m := make(map[prefs.Client]time.Duration, len(row))
+		for c, ns := range row {
+			m[c] = time.Duration(ns)
+		}
+		t.bySite[site] = m
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+package discovery
+
+import (
+	"fmt"
+	"time"
+
+	"anyopt/internal/testbed"
+)
+
+// ExperimentKind classifies a planned experiment.
+type ExperimentKind uint8
+
+const (
+	// KindSingleton: one site announced alone, for RTT measurement.
+	KindSingleton ExperimentKind = iota
+	// KindProviderPair: two provider representatives, order-controlled.
+	KindProviderPair
+	// KindSitePair: two sites of the same provider, simultaneous.
+	KindSitePair
+)
+
+func (k ExperimentKind) String() string {
+	switch k {
+	case KindSingleton:
+		return "singleton"
+	case KindProviderPair:
+		return "provider-pair"
+	case KindSitePair:
+		return "site-pair"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// PlannedExperiment is one slot of a campaign timeline.
+type PlannedExperiment struct {
+	Name   string
+	Kind   ExperimentKind
+	Sites  []int
+	Prefix int
+	Start  time.Duration
+}
+
+// Timeline is the wall-clock plan of a full measurement campaign: every
+// experiment assigned to a test prefix and a start time, experiments on the
+// same prefix spaced apart (the paper uses two hours to let BGP settle and
+// avoid route-flap damping).
+type Timeline struct {
+	Experiments []PlannedExperiment
+	Prefixes    int
+	Spacing     time.Duration
+}
+
+// Duration returns the campaign's end-to-end wall-clock length.
+func (tl Timeline) Duration() time.Duration {
+	var max time.Duration
+	for _, e := range tl.Experiments {
+		if end := e.Start + tl.Spacing; end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// CountKind tallies experiments of one kind.
+func (tl Timeline) CountKind(k ExperimentKind) int {
+	n := 0
+	for _, e := range tl.Experiments {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanCampaign lays out the full §4.5 campaign for a testbed: one singleton
+// experiment per site, two order-controlled experiments per provider pair,
+// and (unless useRTTHeuristic) one experiment per same-provider site pair —
+// round-robined across the available test prefixes.
+func PlanCampaign(tb *testbed.Testbed, useRTTHeuristic bool, prefixes int, spacing time.Duration) Timeline {
+	if prefixes <= 0 {
+		prefixes = 1
+	}
+	if spacing <= 0 {
+		spacing = 2 * time.Hour
+	}
+	var exps []PlannedExperiment
+	for _, s := range tb.Sites {
+		exps = append(exps, PlannedExperiment{
+			Name: fmt.Sprintf("rtt site %d (%s)", s.ID, s.Name),
+			Kind: KindSingleton, Sites: []int{s.ID},
+		})
+	}
+	providers := tb.TransitProviders()
+	reps := map[int]int{} // provider index → representative site
+	for i, p := range providers {
+		for _, s := range tb.SitesOfTransit(p) {
+			if cur, ok := reps[i]; !ok || s.ID < cur {
+				reps[i] = s.ID
+			}
+		}
+	}
+	for a := 0; a < len(providers); a++ {
+		for b := a + 1; b < len(providers); b++ {
+			exps = append(exps,
+				PlannedExperiment{
+					Name: fmt.Sprintf("providers %d<%d", a, b),
+					Kind: KindProviderPair, Sites: []int{reps[a], reps[b]},
+				},
+				PlannedExperiment{
+					Name: fmt.Sprintf("providers %d>%d (reversed)", a, b),
+					Kind: KindProviderPair, Sites: []int{reps[b], reps[a]},
+				})
+		}
+	}
+	if !useRTTHeuristic {
+		for _, p := range providers {
+			sites := tb.SitesOfTransit(p)
+			for a := 0; a < len(sites); a++ {
+				for b := a + 1; b < len(sites); b++ {
+					exps = append(exps, PlannedExperiment{
+						Name: fmt.Sprintf("sites %d/%d", sites[a].ID, sites[b].ID),
+						Kind: KindSitePair, Sites: []int{sites[a].ID, sites[b].ID},
+					})
+				}
+			}
+		}
+	}
+	// Round-robin assignment: prefix i runs its j-th experiment at j*spacing.
+	slot := make([]int, prefixes)
+	for i := range exps {
+		p := i % prefixes
+		exps[i].Prefix = p
+		exps[i].Start = time.Duration(slot[p]) * spacing
+		slot[p]++
+	}
+	return Timeline{Experiments: exps, Prefixes: prefixes, Spacing: spacing}
+}

@@ -1,0 +1,97 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanCampaignTable1(t *testing.T) {
+	tb := newTB(t)
+	tl := PlanCampaign(tb, false, 4, 2*time.Hour)
+
+	// Table 1: 15 singletons, C(6,2)×2 = 30 provider pairs, 13 site pairs
+	// (Telia 3, Zayo 1, TATA 1, GTT 1, NTT 6, Sparkle 1).
+	if got := tl.CountKind(KindSingleton); got != 15 {
+		t.Errorf("singletons = %d, want 15", got)
+	}
+	if got := tl.CountKind(KindProviderPair); got != 30 {
+		t.Errorf("provider pairs = %d, want 30", got)
+	}
+	if got := tl.CountKind(KindSitePair); got != 13 {
+		t.Errorf("site pairs = %d, want 13", got)
+	}
+	total := len(tl.Experiments)
+	if total != 58 {
+		t.Fatalf("total experiments = %d, want 58", total)
+	}
+	// 58 experiments over 4 prefixes at 2 h spacing: the busiest prefix runs
+	// ceil(58/4) = 15 slots → 30 h campaign.
+	if got := tl.Duration(); got != 30*time.Hour {
+		t.Errorf("duration = %v, want 30h", got)
+	}
+
+	// Prefix assignment must be balanced and starts non-overlapping per
+	// prefix.
+	perPrefix := map[int][]time.Duration{}
+	for _, e := range tl.Experiments {
+		if e.Prefix < 0 || e.Prefix >= 4 {
+			t.Fatalf("experiment on prefix %d", e.Prefix)
+		}
+		perPrefix[e.Prefix] = append(perPrefix[e.Prefix], e.Start)
+	}
+	for p, starts := range perPrefix {
+		if len(starts) < 14 || len(starts) > 15 {
+			t.Errorf("prefix %d runs %d experiments; unbalanced", p, len(starts))
+		}
+		seen := map[time.Duration]bool{}
+		for _, s := range starts {
+			if seen[s] {
+				t.Errorf("prefix %d has two experiments at %v", p, s)
+			}
+			seen[s] = true
+			if s%(2*time.Hour) != 0 {
+				t.Errorf("start %v not aligned to spacing", s)
+			}
+		}
+	}
+}
+
+func TestPlanCampaignHeuristicSkipsSitePairs(t *testing.T) {
+	tb := newTB(t)
+	tl := PlanCampaign(tb, true, 4, 2*time.Hour)
+	if got := tl.CountKind(KindSitePair); got != 0 {
+		t.Errorf("site pairs = %d with RTT heuristic, want 0", got)
+	}
+	if total := len(tl.Experiments); total != 45 {
+		t.Errorf("total = %d, want 45", total)
+	}
+}
+
+func TestPlanCampaignDefaults(t *testing.T) {
+	tb := newTB(t)
+	tl := PlanCampaign(tb, true, 0, 0)
+	if tl.Prefixes != 1 {
+		t.Errorf("prefixes defaulted to %d", tl.Prefixes)
+	}
+	if tl.Spacing != 2*time.Hour {
+		t.Errorf("spacing defaulted to %v", tl.Spacing)
+	}
+	// Serial: duration = n × spacing.
+	if got, want := tl.Duration(), time.Duration(len(tl.Experiments))*2*time.Hour; got != want {
+		t.Errorf("serial duration %v, want %v", got, want)
+	}
+}
+
+func TestTimelineMatchesPlanArithmetic(t *testing.T) {
+	// The concrete Table 1 plan must agree with the §4.5 closed-form
+	// arithmetic for the same shape.
+	tb := newTB(t)
+	tl := PlanCampaign(tb, true, 4, 2*time.Hour)
+	plan := PlanTransitOnly(15, 6, 4, true)
+	if tl.CountKind(KindSingleton) != plan.SingletonExperiments {
+		t.Errorf("singletons: timeline %d vs plan %d", tl.CountKind(KindSingleton), plan.SingletonExperiments)
+	}
+	if tl.CountKind(KindProviderPair) != plan.PairwiseExperiments {
+		t.Errorf("pairwise: timeline %d vs plan %d", tl.CountKind(KindProviderPair), plan.PairwiseExperiments)
+	}
+}

@@ -1,0 +1,168 @@
+package predict
+
+import (
+	"sort"
+	"time"
+
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/core/splpo"
+	"anyopt/internal/topology"
+)
+
+// unmeasuredCost is the SPLPO cost for a (client, site) pair with no RTT
+// measurement: large enough that the optimizer avoids relying on it, finite
+// so arithmetic stays clean.
+const unmeasuredCost = 1e9 // milliseconds
+
+// intraRanking orders the given sites of one provider by the client's
+// intra-AS preferences, falling back to the RTT heuristic (§4.3).
+func (p *Predictor) intraRanking(c prefs.Client, prov topology.ASN) []int {
+	sites := p.TB.SitesOfTransit(prov)
+	items := make([]prefs.Item, len(sites))
+	for i, s := range sites {
+		items[i] = prefs.Item(s.ID)
+	}
+	if len(items) == 1 {
+		return []int{int(items[0])}
+	}
+	if !p.UseRTTHeuristic && p.Sites[prov] != nil {
+		if scp := p.Sites[prov].Get(c); scp != nil {
+			if order, ok := scp.TotalOrder(items); ok {
+				out := make([]int, len(order))
+				for i, it := range order {
+					out[i] = int(it)
+				}
+				return out
+			}
+		}
+	}
+	// RTT heuristic: lowest measured RTT first; unmeasured sites last.
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = int(it)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ra, oka := p.rttOrHuge(out[a], c)
+		rb, okb := p.rttOrHuge(out[b], c)
+		if oka != okb {
+			return oka
+		}
+		if ra != rb {
+			return ra < rb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+func (p *Predictor) rttOrHuge(site int, c prefs.Client) (time.Duration, bool) {
+	if p.RTT == nil {
+		return 0, false
+	}
+	return p.RTT.RTT(site, c)
+}
+
+// Ranking composes a client's full preference order over every testbed site
+// under the given provider announcement order: providers in the client's
+// total order, sites within each provider in intra-AS order. ok is false
+// when the client has no provider-level total order.
+func (p *Predictor) Ranking(c prefs.Client, annProv []prefs.Item) ([]int, bool) {
+	cp := p.Providers.Get(c)
+	if cp == nil {
+		return nil, false
+	}
+	provOrder, ok := cp.TotalOrder(annProv)
+	if !ok {
+		return nil, false
+	}
+	var out []int
+	for _, prov := range provOrder {
+		out = append(out, p.intraRanking(c, topology.ASN(prov))...)
+	}
+	return out, true
+}
+
+// BuildInstance converts the discovery results into an SPLPO instance
+// (Appendix B): site index i corresponds to testbed site ID i+1, each
+// orderable client contributes its full ranking, and costs are measured RTTs
+// in milliseconds. It returns the instance and the client behind each
+// instance row. Clients without a total order are excluded from
+// optimization, as §4.5 prescribes.
+func (p *Predictor) BuildInstance(annProv []prefs.Item) (*splpo.Instance, []prefs.Client) {
+	return p.BuildInstanceWeighted(annProv, nil, nil)
+}
+
+// BuildInstanceWeighted is BuildInstance with the Appendix B extensions:
+// loads assigns each client a demand l(h) (defaulting to 1) that both
+// weights its RTT contribution ("weigh each host's RTT with its workload")
+// and counts against site capacities; caps (site ID → maximum load L_i)
+// adds the per-site load constraint Σ l(h)·x_{h,i} ≤ L_i.
+func (p *Predictor) BuildInstanceWeighted(annProv []prefs.Item, loads map[prefs.Client]float64, caps map[int]float64) (*splpo.Instance, []prefs.Client) {
+	n := len(p.TB.Sites)
+	in := &splpo.Instance{NumSites: n}
+	if caps != nil {
+		in.Cap = make([]float64, n)
+		for i := range in.Cap {
+			in.Cap[i] = splpo.Infinity
+		}
+		for siteID, cap := range caps {
+			if siteID >= 1 && siteID <= n {
+				in.Cap[siteID-1] = cap
+			}
+		}
+	}
+	var clients []prefs.Client
+	for _, c := range p.Providers.Clients() {
+		ranking, ok := p.Ranking(c, annProv)
+		if !ok {
+			continue
+		}
+		idxRank := make([]int, len(ranking))
+		cost := make([]float64, n)
+		for i := range cost {
+			cost[i] = unmeasuredCost
+		}
+		for i, siteID := range ranking {
+			idxRank[i] = siteID - 1
+			if rtt, ok := p.rttOrHuge(siteID, c); ok {
+				cost[siteID-1] = float64(rtt) / float64(time.Millisecond)
+			}
+		}
+		load := 1.0
+		if loads != nil {
+			if l, ok := loads[c]; ok {
+				load = l
+			}
+		}
+		in.Clients = append(in.Clients, splpo.Client{
+			Ranking: idxRank, Cost: cost, Load: load, Weight: load,
+		})
+		clients = append(clients, c)
+	}
+	return in, clients
+}
+
+// SubsetToConfig converts an SPLPO subset bitmask into a deployable
+// configuration: site IDs ordered by the provider announcement order (each
+// provider's sites announced consecutively), so that deployed arrival order
+// matches the preferences used to predict it.
+func (p *Predictor) SubsetToConfig(subset uint64, annProv []prefs.Item) Config {
+	var cfg Config
+	for _, prov := range annProv {
+		for _, s := range p.TB.SitesOfTransit(topology.ASN(prov)) {
+			if subset&(1<<uint(s.ID-1)) != 0 {
+				cfg = append(cfg, s.ID)
+			}
+		}
+	}
+	return cfg
+}
+
+// ConfigToSubset is the inverse of SubsetToConfig.
+func ConfigToSubset(cfg Config) uint64 {
+	var subset uint64
+	for _, id := range cfg {
+		subset |= 1 << uint(id-1)
+	}
+	return subset
+}

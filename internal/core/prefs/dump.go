@@ -1,0 +1,66 @@
+package prefs
+
+import "fmt"
+
+// DumpedRelation is one (client, pair) relation in exportable form.
+type DumpedRelation struct {
+	Client Client   `json:"c"`
+	I      Item     `json:"i"`
+	J      Item     `json:"j"`
+	Rel    Relation `json:"r"`
+	// Winner is meaningful for RelStrict.
+	Winner Item `json:"w,omitempty"`
+}
+
+// Dump exports every recorded relation, in deterministic (client, pair)
+// order, for persistence.
+func (s *Store) Dump() []DumpedRelation {
+	var out []DumpedRelation
+	for _, c := range s.clientOrder {
+		cp := s.clients[c]
+		for a := 0; a < len(s.items); a++ {
+			for b := a + 1; b < len(s.items); b++ {
+				pr := cp.rel[s.pairIdx(a, b)]
+				if pr.rel == RelUnknown {
+					continue
+				}
+				out = append(out, DumpedRelation{
+					Client: c, I: s.items[a], J: s.items[b],
+					Rel: pr.rel, Winner: pr.winner,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Restore installs previously dumped relations. The store's item universe
+// must contain every referenced item.
+func (s *Store) Restore(rels []DumpedRelation) error {
+	for _, r := range rels {
+		ii, ok := s.index[r.I]
+		if !ok {
+			return fmt.Errorf("prefs: restore references unknown item %d", r.I)
+		}
+		jj, ok := s.index[r.J]
+		if !ok {
+			return fmt.Errorf("prefs: restore references unknown item %d", r.J)
+		}
+		if ii == jj {
+			return fmt.Errorf("prefs: restore with degenerate pair (%d, %d)", r.I, r.J)
+		}
+		switch r.Rel {
+		case RelStrict:
+			if r.Winner != r.I && r.Winner != r.J {
+				return fmt.Errorf("prefs: restore winner %d not in pair (%d, %d)", r.Winner, r.I, r.J)
+			}
+		case RelEqual:
+			// no winner
+		default:
+			return fmt.Errorf("prefs: restore with relation %v", r.Rel)
+		}
+		cp := s.client(r.Client)
+		cp.rel[s.pairIdx(ii, jj)] = pairRel{rel: r.Rel, winner: r.Winner}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+// Package prefs stores the outcomes of pairwise preference-discovery
+// experiments and constructs per-client total orders from them — the heart
+// of AnyOpt's prediction model (§3.3–3.4, §4.2).
+//
+// For every client network and every unordered pair of items (items are
+// anycast sites at the intra-AS level, or transit providers at the inter-AS
+// level), two controlled experiments are run: one announcing i before j and
+// one announcing j before i. A client that picks the same winner both times
+// holds a strict preference; a client whose pick follows the announcement
+// order holds equivalent preferences that real routers break by route age
+// (the arrival-order tie-breaker of §4.2). "Naive" experiments that announce
+// simultaneously collapse this distinction and record whatever won, which is
+// why they manufacture cyclic preferences (Figure 4).
+package prefs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item identifies a comparable alternative: a site ID at the intra-AS level
+// or a provider's ASN at the inter-AS level.
+type Item int64
+
+// Client identifies a client network (we use its ASN).
+type Client int64
+
+// Relation classifies a client's attitude toward an unordered item pair.
+type Relation int8
+
+const (
+	// RelUnknown means the pair was never compared for this client.
+	RelUnknown Relation = iota
+	// RelStrict means one item wins regardless of announcement order.
+	RelStrict
+	// RelEqual means the winner followed the announcement order: the items
+	// are equally preferred and route age decides.
+	RelEqual
+)
+
+func (r Relation) String() string {
+	switch r {
+	case RelUnknown:
+		return "unknown"
+	case RelStrict:
+		return "strict"
+	case RelEqual:
+		return "equal"
+	default:
+		return fmt.Sprintf("relation(%d)", int8(r))
+	}
+}
+
+// pairRel stores one client's relation for one pair.
+type pairRel struct {
+	rel Relation
+	// winner is meaningful for RelStrict only.
+	winner Item
+}
+
+// ClientPrefs holds one client's pairwise relations over the store's items.
+type ClientPrefs struct {
+	store *Store
+	// rel is indexed by flattened (min,max) pair index.
+	rel []pairRel
+}
+
+// Store collects pairwise preferences for a fixed item universe.
+type Store struct {
+	items []Item
+	index map[Item]int
+	// clients in insertion order for deterministic iteration.
+	clientOrder []Client
+	clients     map[Client]*ClientPrefs
+}
+
+// NewStore creates a store over the given items. Items must be distinct.
+func NewStore(items []Item) (*Store, error) {
+	if len(items) < 1 {
+		return nil, fmt.Errorf("prefs: store needs at least one item")
+	}
+	s := &Store{
+		items:   append([]Item(nil), items...),
+		index:   make(map[Item]int, len(items)),
+		clients: make(map[Client]*ClientPrefs),
+	}
+	for i, it := range s.items {
+		if _, dup := s.index[it]; dup {
+			return nil, fmt.Errorf("prefs: duplicate item %d", it)
+		}
+		s.index[it] = i
+	}
+	return s, nil
+}
+
+// Items returns the item universe.
+func (s *Store) Items() []Item { return append([]Item(nil), s.items...) }
+
+// Clients returns all clients with any recorded preference, in first-record
+// order.
+func (s *Store) Clients() []Client { return append([]Client(nil), s.clientOrder...) }
+
+// NumPairs returns the number of unordered item pairs.
+func (s *Store) NumPairs() int { return len(s.items) * (len(s.items) - 1) / 2 }
+
+// pairIdx flattens an unordered index pair (a < b).
+func (s *Store) pairIdx(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	n := len(s.items)
+	return a*(2*n-a-1)/2 + (b - a - 1)
+}
+
+// client returns (creating) the per-client table.
+func (s *Store) client(c Client) *ClientPrefs {
+	cp := s.clients[c]
+	if cp == nil {
+		cp = &ClientPrefs{store: s, rel: make([]pairRel, s.NumPairs())}
+		s.clients[c] = cp
+		s.clientOrder = append(s.clientOrder, c)
+	}
+	return cp
+}
+
+// Get returns the per-client table, or nil if the client was never recorded.
+func (s *Store) Get(c Client) *ClientPrefs { return s.clients[c] }
+
+// RecordOrdered stores the outcome of the two order-controlled experiments
+// for pair (i, j): winnerIFirst is the client's catchment when i was
+// announced first, winnerJFirst when j was announced first. Winners must be
+// i or j.
+func (s *Store) RecordOrdered(c Client, i, j Item, winnerIFirst, winnerJFirst Item) error {
+	ii, ok := s.index[i]
+	if !ok {
+		return fmt.Errorf("prefs: unknown item %d", i)
+	}
+	jj, ok := s.index[j]
+	if !ok {
+		return fmt.Errorf("prefs: unknown item %d", j)
+	}
+	if ii == jj {
+		return fmt.Errorf("prefs: pair (%d, %d) is degenerate", i, j)
+	}
+	for _, w := range []Item{winnerIFirst, winnerJFirst} {
+		if w != i && w != j {
+			return fmt.Errorf("prefs: winner %d not in pair (%d, %d)", w, i, j)
+		}
+	}
+	cp := s.client(c)
+	idx := s.pairIdx(ii, jj)
+	switch {
+	case winnerIFirst == winnerJFirst:
+		cp.rel[idx] = pairRel{rel: RelStrict, winner: winnerIFirst}
+	default:
+		// The winner flipped with the announcement order (whichever
+		// direction): the client is indifferent and route age decides
+		// (§4.2: "otherwise ... it has equivalent preferences").
+		cp.rel[idx] = pairRel{rel: RelEqual}
+	}
+	return nil
+}
+
+// RecordSimultaneous stores the outcome of a single "naive" experiment that
+// announced both items at once: the observed winner is taken as a strict
+// preference, because without order control the experimenter cannot tell a
+// tie from a genuine preference. This is the baseline mode Figure 4 shows to
+// be inconsistent.
+func (s *Store) RecordSimultaneous(c Client, i, j, winner Item) error {
+	ii, ok := s.index[i]
+	if !ok {
+		return fmt.Errorf("prefs: unknown item %d", i)
+	}
+	jj, ok := s.index[j]
+	if !ok {
+		return fmt.Errorf("prefs: unknown item %d", j)
+	}
+	if winner != i && winner != j {
+		return fmt.Errorf("prefs: winner %d not in pair (%d, %d)", winner, i, j)
+	}
+	cp := s.client(c)
+	cp.rel[s.pairIdx(ii, jj)] = pairRel{rel: RelStrict, winner: winner}
+	return nil
+}
+
+// Relation returns the recorded relation for pair (i, j) and, for RelStrict,
+// the winning item.
+func (cp *ClientPrefs) Relation(i, j Item) (Relation, Item) {
+	ii, ok1 := cp.store.index[i]
+	jj, ok2 := cp.store.index[j]
+	if !ok1 || !ok2 || ii == jj {
+		return RelUnknown, 0
+	}
+	pr := cp.rel[cp.store.pairIdx(ii, jj)]
+	return pr.rel, pr.winner
+}
+
+// Complete reports whether every pair over the given items has a recorded
+// relation.
+func (cp *ClientPrefs) Complete(items []Item) bool {
+	for a := 0; a < len(items); a++ {
+		for b := a + 1; b < len(items); b++ {
+			if r, _ := cp.Relation(items[a], items[b]); r == RelUnknown {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// prefersUnder reports whether x beats y under announcement order annRank
+// (lower rank = announced earlier): strict winners win; equal pairs go to
+// the earlier-announced item.
+func (cp *ClientPrefs) prefersUnder(x, y Item, annRank map[Item]int) (bool, bool) {
+	rel, winner := cp.Relation(x, y)
+	switch rel {
+	case RelStrict:
+		return winner == x, true
+	case RelEqual:
+		rx, okx := annRank[x]
+		ry, oky := annRank[y]
+		if !okx || !oky {
+			return false, false
+		}
+		return rx < ry, true
+	default:
+		return false, false
+	}
+}
+
+// TotalOrder attempts to build the client's total preference order over the
+// given items under the given announcement order (earliest first). It
+// returns the items most-preferred-first and ok=false when the pairwise
+// relations are incomplete or cyclic — the clients the paper excludes from
+// prediction (§4.2).
+func (cp *ClientPrefs) TotalOrder(announce []Item) ([]Item, bool) {
+	n := len(announce)
+	if n == 0 {
+		return nil, false
+	}
+	annRank := make(map[Item]int, n)
+	for r, it := range announce {
+		if _, dup := annRank[it]; dup {
+			return nil, false
+		}
+		annRank[it] = r
+	}
+	// wins[a][b] = a beats b.
+	wins := make([][]bool, n)
+	for a := range wins {
+		wins[a] = make([]bool, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ab, ok := cp.prefersUnder(announce[a], announce[b], annRank)
+			if !ok {
+				return nil, false
+			}
+			wins[a][b] = ab
+			wins[b][a] = !ab
+		}
+	}
+	// A tournament is a total order iff win counts are a permutation of
+	// 0..n-1 (no 3-cycles). Sorting by descending win count yields the
+	// order; verifying adjacent dominance confirms acyclicity.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	count := make([]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && wins[a][b] {
+				count[a]++
+			}
+		}
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return count[idx[x]] > count[idx[y]] })
+	for pos := 0; pos < n; pos++ {
+		if count[idx[pos]] != n-1-pos {
+			return nil, false // tie in win counts ⇒ cycle exists
+		}
+		for later := pos + 1; later < n; later++ {
+			if !wins[idx[pos]][idx[later]] {
+				return nil, false
+			}
+		}
+	}
+	out := make([]Item, n)
+	for pos, i := range idx {
+		out[pos] = announce[i]
+	}
+	return out, true
+}
+
+// Best predicts the client's catchment among the enabled items under the
+// given announcement order: its most preferred enabled item. ok is false when
+// the client lacks a total order over the enabled items.
+func (cp *ClientPrefs) Best(enabled []Item, annRank []Item) (Item, bool) {
+	order, ok := cp.TotalOrder(annRank)
+	if !ok {
+		return 0, false
+	}
+	en := make(map[Item]bool, len(enabled))
+	for _, e := range enabled {
+		en[e] = true
+	}
+	for _, it := range order {
+		if en[it] {
+			return it, true
+		}
+	}
+	return 0, false
+}
+
+// HasTotalOrder reports whether the client's relations over items are
+// complete and acyclic under the given announcement order.
+func (cp *ClientPrefs) HasTotalOrder(announce []Item) bool {
+	_, ok := cp.TotalOrder(announce)
+	return ok
+}
+
+// FracWithTotalOrder returns the fraction of recorded clients having a total
+// order over the given announcement order.
+func (s *Store) FracWithTotalOrder(announce []Item) float64 {
+	if len(s.clientOrder) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range s.clientOrder {
+		if s.clients[c].HasTotalOrder(announce) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.clientOrder))
+}
+
+// BestAnnouncementOrder searches announcement orders of the items and returns
+// the one maximizing the fraction of clients with a total order (§4.5 step 3:
+// "the announcement order that maximizes the number of client networks with a
+// consistent total order"). For ≤ maxExhaustive items every permutation is
+// tried; beyond that a greedy insertion heuristic is used.
+func (s *Store) BestAnnouncementOrder(maxExhaustive int) ([]Item, float64) {
+	items := s.Items()
+	if len(items) <= 1 {
+		return items, s.FracWithTotalOrder(items)
+	}
+	if len(items) <= maxExhaustive {
+		bestFrac := -1.0
+		var best []Item
+		permute(items, func(p []Item) {
+			if f := s.FracWithTotalOrder(p); f > bestFrac {
+				bestFrac = f
+				best = append([]Item(nil), p...)
+			}
+		})
+		return best, bestFrac
+	}
+	// Greedy insertion: grow the order one item at a time, placing each new
+	// item at the position that keeps the most clients consistent.
+	order := []Item{items[0]}
+	for _, it := range items[1:] {
+		bestFrac := -1.0
+		bestPos := 0
+		for pos := 0; pos <= len(order); pos++ {
+			trial := make([]Item, 0, len(order)+1)
+			trial = append(trial, order[:pos]...)
+			trial = append(trial, it)
+			trial = append(trial, order[pos:]...)
+			if f := s.FracWithTotalOrder(trial); f > bestFrac {
+				bestFrac = f
+				bestPos = pos
+			}
+		}
+		next := make([]Item, 0, len(order)+1)
+		next = append(next, order[:bestPos]...)
+		next = append(next, it)
+		next = append(next, order[bestPos:]...)
+		order = next
+	}
+	return order, s.FracWithTotalOrder(order)
+}
+
+// permute calls fn for every permutation of items (Heap's algorithm).
+func permute(items []Item, fn func([]Item)) {
+	p := append([]Item(nil), items...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(p)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				p[i], p[k-1] = p[k-1], p[i]
+			} else {
+				p[0], p[k-1] = p[k-1], p[0]
+			}
+		}
+	}
+	rec(len(p))
+}

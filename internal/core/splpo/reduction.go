@@ -1,0 +1,66 @@
+package splpo
+
+// This file implements the Appendix B.1 reduction from Dominating Set to
+// SPLPO, both as executable documentation of the hardness proof and as a
+// test fixture: if a graph has a dominating set of size K, the reduced SPLPO
+// instance has a zero-cost solution opening K+1 sites; otherwise every
+// (K+1)-site solution has infinite cost.
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// ReduceDominatingSet builds the Appendix B.1 SPLPO instance for g:
+//
+//   - every vertex v becomes a client c_v and a site s_v with cost 0;
+//   - one extra site s* (index N) with its own client c* at cost 0;
+//   - c_v ranks s_v first, then its neighbors' sites, then s*; every other
+//     site is unacceptable. Serving c_v from s* costs Infinity-like (we use
+//     a huge finite marker so Evaluate stays finite-arithmetic);
+//   - c* accepts only s*.
+func ReduceDominatingSet(g Graph) *Instance {
+	const huge = 1e12
+	n := g.N
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	in := &Instance{NumSites: n + 1}
+	for v := 0; v < n; v++ {
+		cost := make([]float64, n+1)
+		for i := range cost {
+			cost[i] = huge
+		}
+		cost[v] = 0
+		ranking := []int{v}
+		for _, w := range adj[v] {
+			cost[w] = 0
+			ranking = append(ranking, w)
+		}
+		cost[n] = huge
+		ranking = append(ranking, n) // s* is acceptable but hugely costly
+		in.Clients = append(in.Clients, Client{Ranking: ranking, Cost: cost})
+	}
+	// c*: accepts only s*, at zero cost.
+	cost := make([]float64, n+1)
+	for i := range cost {
+		cost[i] = huge
+	}
+	cost[n] = 0
+	in.Clients = append(in.Clients, Client{Ranking: []int{n}, Cost: cost})
+	return in
+}
+
+// HasZeroCostSolution reports whether the reduced instance admits a zero-cost
+// assignment opening exactly k+1 sites (i.e., g has a dominating set of size
+// ≤ k). It enumerates exhaustively, so use small graphs.
+func HasZeroCostSolution(in *Instance, kPlusOne int) bool {
+	a, _, err := Exhaustive(in, Options{ExactSize: kPlusOne})
+	if err != nil {
+		return false
+	}
+	return a.TotalCost == 0
+}

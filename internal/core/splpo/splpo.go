@@ -1,0 +1,353 @@
+// Package splpo implements the Simple Plant Location Problem with Preference
+// Orderings (Appendix B): clients choose their most preferred *open* site,
+// and the operator picks the set of open sites minimizing total (or mean)
+// cost subject to optional per-site load caps.
+//
+// The general problem is NP-hard (even to approximate — Appendix B.1 reduces
+// Dominating Set to it), so the package offers an exhaustive solver for
+// testbed-sized instances, a budgeted enumerator matching the paper's
+// "as many configurations as we can compute within a time bound" approach
+// (§5.3), and a local-search solver for large networks, plus the baselines
+// the paper compares against (greedy-by-unicast-RTT, random).
+package splpo
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+)
+
+// Infinity is the cost of an unserved client (no open site acceptable).
+const Infinity = math.MaxFloat64 / 4
+
+// Client is one demand point: a ranked list of acceptable sites (best first)
+// and the cost of being served by each.
+type Client struct {
+	// Ranking lists site indices most-preferred first. A client assigned to
+	// an open site always picks the first open entry (constraint (6) in
+	// Appendix B).
+	Ranking []int
+	// Cost[s] is the cost of serving this client from site s. Sites absent
+	// from Ranking are never used regardless of cost.
+	Cost []float64
+	// Load is the demand this client adds to its chosen site.
+	Load float64
+	// Weight scales the client's cost contribution (e.g., query volume).
+	Weight float64
+}
+
+// Instance is an SPLPO instance.
+type Instance struct {
+	NumSites int
+	Clients  []Client
+	// Cap[s] is the load capacity of site s; nil means uncapacitated.
+	Cap []float64
+}
+
+// Validate checks structural sanity.
+func (in *Instance) Validate() error {
+	if in.NumSites <= 0 {
+		return fmt.Errorf("splpo: NumSites = %d", in.NumSites)
+	}
+	if in.NumSites > 63 {
+		return fmt.Errorf("splpo: NumSites = %d exceeds bitmask solver limit 63", in.NumSites)
+	}
+	if in.Cap != nil && len(in.Cap) != in.NumSites {
+		return fmt.Errorf("splpo: Cap has %d entries for %d sites", len(in.Cap), in.NumSites)
+	}
+	for i, c := range in.Clients {
+		if len(c.Cost) != in.NumSites {
+			return fmt.Errorf("splpo: client %d has %d costs for %d sites", i, len(c.Cost), in.NumSites)
+		}
+		seen := map[int]bool{}
+		for _, s := range c.Ranking {
+			if s < 0 || s >= in.NumSites {
+				return fmt.Errorf("splpo: client %d ranks unknown site %d", i, s)
+			}
+			if seen[s] {
+				return fmt.Errorf("splpo: client %d ranks site %d twice", i, s)
+			}
+			seen[s] = true
+		}
+	}
+	return nil
+}
+
+// Assignment is the outcome of evaluating a subset.
+type Assignment struct {
+	// Subset is the bitmask of open sites.
+	Subset uint64
+	// TotalCost is the weighted sum of client costs (Infinity-free only if
+	// Feasible).
+	TotalCost float64
+	// MeanCost is TotalCost divided by total weight of served clients.
+	MeanCost float64
+	// Served counts clients with an acceptable open site.
+	Served int
+	// Feasible is false when a load cap is exceeded or a client is
+	// unservable.
+	Feasible bool
+	// SiteLoad is the load each site absorbed.
+	SiteLoad []float64
+}
+
+// Sites expands the subset bitmask into a sorted site list.
+func (a Assignment) Sites() []int {
+	var out []int
+	for s := 0; s < 64; s++ {
+		if a.Subset&(1<<s) != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Evaluate assigns every client to its most preferred open site and tallies
+// cost and load.
+func (in *Instance) Evaluate(subset uint64) Assignment {
+	a := Assignment{Subset: subset, Feasible: true, SiteLoad: make([]float64, in.NumSites)}
+	if subset == 0 {
+		a.Feasible = false
+		a.TotalCost = Infinity
+		return a
+	}
+	var totalWeight float64
+	for i := range in.Clients {
+		c := &in.Clients[i]
+		site := -1
+		for _, s := range c.Ranking {
+			if subset&(1<<uint(s)) != 0 {
+				site = s
+				break
+			}
+		}
+		if site < 0 {
+			a.Feasible = false
+			a.TotalCost = Infinity
+			continue
+		}
+		w := c.Weight
+		if w == 0 {
+			w = 1
+		}
+		a.TotalCost += w * c.Cost[site]
+		totalWeight += w
+		a.Served++
+		a.SiteLoad[site] += c.Load
+	}
+	if in.Cap != nil {
+		for s, load := range a.SiteLoad {
+			if subset&(1<<uint(s)) != 0 && load > in.Cap[s] {
+				a.Feasible = false
+			}
+		}
+	}
+	if totalWeight > 0 && a.TotalCost < Infinity {
+		a.MeanCost = a.TotalCost / totalWeight
+	} else {
+		a.MeanCost = Infinity
+	}
+	return a
+}
+
+// Options bounds a solver run.
+type Options struct {
+	// ExactSize restricts to subsets with exactly this many open sites
+	// (0 = any size).
+	ExactSize int
+	// MaxSubsets bounds how many subsets the enumerator evaluates — the
+	// paper's offline time budget (0 = unlimited).
+	MaxSubsets int
+	// RequireFeasible rejects infeasible assignments.
+	RequireFeasible bool
+	// ForbiddenMask excludes sites (bitmask) from every considered subset —
+	// e.g., a site that is down for maintenance.
+	ForbiddenMask uint64
+}
+
+// Exhaustive enumerates subsets (optionally size-restricted, optionally
+// budgeted) and returns the minimum-mean-cost assignment plus the number of
+// subsets evaluated.
+func Exhaustive(in *Instance, opts Options) (Assignment, int, error) {
+	if err := in.Validate(); err != nil {
+		return Assignment{}, 0, err
+	}
+	best := Assignment{MeanCost: Infinity, TotalCost: Infinity}
+	evaluated := 0
+	limit := uint64(1) << uint(in.NumSites)
+	for subset := uint64(1); subset < limit; subset++ {
+		if subset&opts.ForbiddenMask != 0 {
+			continue
+		}
+		if opts.ExactSize > 0 && bits.OnesCount64(subset) != opts.ExactSize {
+			continue
+		}
+		if opts.MaxSubsets > 0 && evaluated >= opts.MaxSubsets {
+			break
+		}
+		evaluated++
+		a := in.Evaluate(subset)
+		if opts.RequireFeasible && !a.Feasible {
+			continue
+		}
+		if a.MeanCost < best.MeanCost {
+			best = a
+		}
+	}
+	if best.TotalCost >= Infinity && best.Subset == 0 {
+		return best, evaluated, fmt.Errorf("splpo: no acceptable subset found")
+	}
+	return best, evaluated, nil
+}
+
+// LocalSearch starts from a seed subset and iteratively applies the best
+// single-site add, drop, or swap until no move improves mean cost. Suitable
+// for networks too large to enumerate (§4.5's Akamai-scale analysis).
+func LocalSearch(in *Instance, seed uint64, opts Options, maxIters int) (Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	seed &^= opts.ForbiddenMask
+	if seed == 0 {
+		seed = 1 &^ opts.ForbiddenMask
+		for s := 0; s < in.NumSites && seed == 0; s++ {
+			if opts.ForbiddenMask&(1<<uint(s)) == 0 {
+				seed = 1 << uint(s)
+			}
+		}
+		if seed == 0 {
+			return Assignment{}, fmt.Errorf("splpo: every site is forbidden")
+		}
+	}
+	cur := in.Evaluate(seed)
+	if maxIters <= 0 {
+		maxIters = 1000
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		improved := false
+		best := cur
+		tryMove := func(subset uint64) {
+			if subset == 0 || subset&opts.ForbiddenMask != 0 {
+				return
+			}
+			if opts.ExactSize > 0 && bits.OnesCount64(subset) != opts.ExactSize {
+				return
+			}
+			a := in.Evaluate(subset)
+			if opts.RequireFeasible && !a.Feasible {
+				return
+			}
+			if a.MeanCost < best.MeanCost {
+				best = a
+				improved = true
+			}
+		}
+		for s := 0; s < in.NumSites; s++ {
+			bit := uint64(1) << uint(s)
+			if cur.Subset&bit == 0 {
+				tryMove(cur.Subset | bit) // add
+			} else {
+				tryMove(cur.Subset &^ bit) // drop
+			}
+		}
+		for s := 0; s < in.NumSites; s++ {
+			sb := uint64(1) << uint(s)
+			if cur.Subset&sb == 0 {
+				continue
+			}
+			for t := 0; t < in.NumSites; t++ {
+				tb := uint64(1) << uint(t)
+				if cur.Subset&tb != 0 {
+					continue
+				}
+				tryMove(cur.Subset&^sb | tb) // swap
+			}
+		}
+		if !improved {
+			break
+		}
+		cur = best
+	}
+	return cur, nil
+}
+
+// GreedyByCost returns the k sites with the lowest mean cost over all
+// clients — the paper's "greedy approach that enables sites with the lowest
+// average unicast latency" (§5.3).
+func GreedyByCost(in *Instance, k int) (Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if k <= 0 || k > in.NumSites {
+		return Assignment{}, fmt.Errorf("splpo: greedy size %d out of range", k)
+	}
+	type siteMean struct {
+		site int
+		mean float64
+	}
+	means := make([]siteMean, in.NumSites)
+	for s := 0; s < in.NumSites; s++ {
+		sum, n := 0.0, 0
+		for i := range in.Clients {
+			c := &in.Clients[i]
+			// Only clients that can use the site contribute.
+			for _, r := range c.Ranking {
+				if r == s {
+					sum += c.Cost[s]
+					n++
+					break
+				}
+			}
+		}
+		m := Infinity
+		if n > 0 {
+			m = sum / float64(n)
+		}
+		means[s] = siteMean{s, m}
+	}
+	sort.Slice(means, func(i, j int) bool {
+		if means[i].mean != means[j].mean {
+			return means[i].mean < means[j].mean
+		}
+		return means[i].site < means[j].site
+	})
+	var subset uint64
+	for _, sm := range means[:k] {
+		subset |= 1 << uint(sm.site)
+	}
+	return in.Evaluate(subset), nil
+}
+
+// RandomSubset evaluates a uniformly random subset of exactly k sites.
+func RandomSubset(in *Instance, k int, rng *rand.Rand) (Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if k <= 0 || k > in.NumSites {
+		return Assignment{}, fmt.Errorf("splpo: random size %d out of range", k)
+	}
+	perm := rng.Perm(in.NumSites)
+	var subset uint64
+	for _, s := range perm[:k] {
+		subset |= 1 << uint(s)
+	}
+	return in.Evaluate(subset), nil
+}
+
+// BestRandom evaluates n random subsets of size k and returns the best — the
+// "best random configuration" baseline of §5.3.
+func BestRandom(in *Instance, k, n int, rng *rand.Rand) (Assignment, error) {
+	best := Assignment{MeanCost: Infinity}
+	for i := 0; i < n; i++ {
+		a, err := RandomSubset(in, k, rng)
+		if err != nil {
+			return Assignment{}, err
+		}
+		if a.MeanCost < best.MeanCost {
+			best = a
+		}
+	}
+	return best, nil
+}

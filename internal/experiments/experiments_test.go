@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"anyopt/internal/analysis"
+)
+
+// envOnce shares the (expensive) discovered environment across tests.
+var testEnv *Env
+
+func getEnv(t *testing.T) *Env {
+	t.Helper()
+	if testEnv == nil {
+		env, err := NewEnv("test", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Discover(); err != nil {
+			t.Fatal(err)
+		}
+		testEnv = env
+	}
+	return testEnv
+}
+
+func TestNewEnvUnknownScale(t *testing.T) {
+	if _, err := NewEnv("galactic", 1); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	env := getEnv(t)
+	out := env.Table1()
+	for _, want := range []string{"Atlanta", "Telia", "Sao Paulo", "Sparkle", "15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	env := getEnv(t)
+	res := env.Fig4a()
+	if len(res.Pairs) != 15 {
+		t.Fatalf("pairs = %d, want 15", len(res.Pairs))
+	}
+	mean := analysis.Mean(res.FlipFracs())
+	t.Logf("mean flip fraction %.1f%% (paper: 6-14%%)", 100*mean)
+	if mean < 0.02 || mean > 0.40 {
+		t.Errorf("mean flip fraction %.2f outside plausible band", mean)
+	}
+	if !strings.Contains(res.Render(), "Figure 4a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	env := getEnv(t)
+	res, err := env.Fig4b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Providers) - 1
+	t.Logf("at %d providers: naive %.1f%% aware %.1f%% without total order (paper: 21.7%% / 10.8%%)",
+		res.Providers[last], 100*res.NoOrderNaive[last], 100*res.NoOrderAware[last])
+	// The paper's headline contrast: order-awareness reduces the fraction
+	// without a total order.
+	if res.NoOrderAware[last] >= res.NoOrderNaive[last] {
+		t.Errorf("order-awareness did not help: naive %.3f vs aware %.3f",
+			res.NoOrderNaive[last], res.NoOrderAware[last])
+	}
+	// The naive fraction grows (weakly) with provider count.
+	if res.NoOrderNaive[last] < res.NoOrderNaive[0] {
+		t.Errorf("naive inconsistency shrank with more providers: %v", res.NoOrderNaive)
+	}
+}
+
+func TestFig4cShape(t *testing.T) {
+	env := getEnv(t)
+	res, err := env.Fig4c([]int{6, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 2 {
+		t.Fatalf("rows = %d", len(res.Sites))
+	}
+	t.Logf("at 15 sites: flat-naive %.1f%%, two-level %.1f%% with total order (paper: 15.3%% / 88.9%%)",
+		100*res.FlatNaive[1], 100*res.TwoLevel[1])
+	// Headline: flat-naive collapses as sites grow; two-level stays high.
+	if res.FlatNaive[1] >= res.FlatNaive[0] {
+		t.Errorf("flat-naive did not degrade with more sites: %v", res.FlatNaive)
+	}
+	if res.TwoLevel[1] < 0.75 {
+		t.Errorf("two-level total-order fraction %.2f too low", res.TwoLevel[1])
+	}
+	if res.TwoLevel[1] <= res.FlatNaive[1] {
+		t.Errorf("two-level (%.2f) should dominate flat-naive (%.2f)", res.TwoLevel[1], res.FlatNaive[1])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	env := getEnv(t)
+	res, err := env.Fig5(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 6 {
+		t.Fatalf("configs = %d", len(res.Configs))
+	}
+	acc := analysis.Mean(res.Accuracies())
+	rel := analysis.Mean(res.RelErrs())
+	t.Logf("mean accuracy %.1f%%, mean rel err %.1f%% (paper: 94.7%% / 4.6%%)", 100*acc, 100*rel)
+	if acc < 0.85 {
+		t.Errorf("accuracy %.3f too low", acc)
+	}
+	if rel > 0.12 {
+		t.Errorf("relative error %.3f too high", rel)
+	}
+	if !strings.Contains(res.Render(), "Figure 5b") {
+		t.Error("render missing 5b series")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	env := getEnv(t)
+	res, err := env.Fig6(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyopt := res.Get("AnyOpt-12")
+	greedy := res.Get("12-Greedy")
+	random := res.Get("4-Random")
+	all := res.Get("15-all")
+	if anyopt == nil || greedy == nil || random == nil || all == nil {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	t.Logf("means: anyopt %.1f greedy %.1f random %.1f all %.1f (paper: 12-site optimum beats all)",
+		anyopt.Mean(), greedy.Mean(), random.Mean(), all.Mean())
+	if anyopt.Mean() > greedy.Mean() {
+		t.Errorf("AnyOpt (%.1f) did not beat greedy (%.1f)", anyopt.Mean(), greedy.Mean())
+	}
+	if anyopt.Mean() > random.Mean() {
+		t.Errorf("AnyOpt (%.1f) did not beat 4-random (%.1f)", anyopt.Mean(), random.Mean())
+	}
+	if anyopt.Mean() > all.Mean() {
+		t.Errorf("AnyOpt-12 (%.1f) did not beat 15-all (%.1f) — the paper's counterintuitive headline", anyopt.Mean(), all.Mean())
+	}
+	if len(random.Config) != 4 {
+		t.Errorf("4-Random config = %v", random.Config)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	env := getEnv(t)
+	res, err := env.Fig7(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CatchmentFracs) != 104 {
+		t.Fatalf("peer reports = %d, want 104", len(res.CatchmentFracs))
+	}
+	small := analysis.CDFAt(res.CatchmentFracs, 0.025)
+	t.Logf("peers with catchment <2.5%%: %.0f%% (paper: >80%%)", 100*small)
+	t.Logf("means: transit-only %.1f, +benefit %.1f, +all %.1f (paper: 68 → 63 → 61)",
+		res.MeanTransitOnly, res.MeanBenefit, res.MeanAllPeers)
+	if small < 0.6 {
+		t.Errorf("peer catchments too large: only %.2f under 2.5%%", small)
+	}
+	if res.MeanBenefit > res.MeanTransitOnly*1.02 {
+		t.Errorf("beneficial peers regressed the mean: %.1f vs %.1f", res.MeanBenefit, res.MeanTransitOnly)
+	}
+}
+
+func TestMiscExperiments(t *testing.T) {
+	env := getEnv(t)
+	if out := Sec45Schedule(); !strings.Contains(out, "250 h") || !strings.Contains(out, "190 h") {
+		t.Errorf("schedule output wrong:\n%s", out)
+	}
+	rep, err := env.RepresentativeStability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("representative stability %.1f%% (paper: 94.2%%)", 100*rep.SamePrefFrac)
+	if rep.SamePrefFrac < 0.8 {
+		t.Errorf("representative stability %.2f too low", rep.SamePrefFrac)
+	}
+
+	ab := env.AblationTwoLevel()
+	if len(ab.Rows) != 3 {
+		t.Fatalf("two-level ablation rows: %+v", ab.Rows)
+	}
+	if !strings.Contains(ab.Render(), "reduction") {
+		t.Error("ablation render missing reduction row")
+	}
+
+	rtt, err := env.AblationRTTHeuristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtt.Rows) != 1 {
+		t.Fatalf("rtt ablation rows: %+v", rtt.Rows)
+	}
+
+	sol, err := env.AblationSolvers(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Rows) != 4 {
+		t.Fatalf("solver ablation rows: %+v", sol.Rows)
+	}
+}
+
+func TestStabilityExperiment(t *testing.T) {
+	// Private env: churn mutates the topology.
+	env, err := NewEnv("test", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Stability(12, 2, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weeks) != 3 {
+		t.Fatalf("weeks = %d", len(res.Weeks))
+	}
+	for _, w := range res.Weeks[1:] {
+		t.Logf("week %d: %.1f%% unchanged, mean %v", w.Week, 100*w.UnchangedFrac, w.MeanRTT)
+		if w.UnchangedFrac < 0.75 {
+			t.Errorf("week %d: only %.2f unchanged", w.Week, w.UnchangedFrac)
+		}
+	}
+}

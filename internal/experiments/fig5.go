@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"math/rand"
+	"time"
+
+	"anyopt"
+	"anyopt/internal/analysis"
+	"anyopt/internal/core/predict"
+	"anyopt/internal/topology"
+)
+
+// Fig5Result holds the prediction-vs-deployment evaluation (§5.2).
+type Fig5Result struct {
+	Configs []Fig5Config
+}
+
+// Fig5Config is one random configuration's prediction quality.
+type Fig5Config struct {
+	Config        anyopt.Config
+	Accuracy      float64 // Figure 5a
+	Comparable    int
+	PredictedMean time.Duration
+	MeasuredMean  time.Duration
+	AbsErr        time.Duration // Figure 5b
+	RelErr        float64       // Figure 5c
+}
+
+// Accuracies lists per-config catchment accuracies.
+func (r Fig5Result) Accuracies() []float64 {
+	out := make([]float64, len(r.Configs))
+	for i, c := range r.Configs {
+		out[i] = c.Accuracy
+	}
+	return out
+}
+
+// AbsErrsMs lists per-config absolute mean-RTT errors in milliseconds.
+func (r Fig5Result) AbsErrsMs() []float64 {
+	out := make([]float64, len(r.Configs))
+	for i, c := range r.Configs {
+		out[i] = float64(c.AbsErr) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// RelErrs lists per-config relative mean-RTT errors.
+func (r Fig5Result) RelErrs() []float64 {
+	out := make([]float64, len(r.Configs))
+	for i, c := range r.Configs {
+		out[i] = c.RelErr
+	}
+	return out
+}
+
+// Render formats Figures 5a, 5b, and 5c.
+func (r Fig5Result) Render() string {
+	tab := analysis.NewTable("Figure 5a/5c: catchment accuracy and RTT error per random configuration (paper: mean accuracy 94.7%, mean rel err ≤4.6%)",
+		"config", "sites", "accuracy %", "pred mean", "meas mean", "rel err %")
+	for _, c := range r.Configs {
+		tab.AddRow(joinInts(c.Config), len(c.Config), 100*c.Accuracy,
+			c.PredictedMean, c.MeasuredMean, 100*c.RelErr)
+	}
+	out := tab.String()
+	out += fmt.Sprintf("mean accuracy %.1f%%  mean rel err %.1f%%\n",
+		100*analysis.Mean(r.Accuracies()), 100*analysis.Mean(r.RelErrs()))
+	out += "\nFigure 5b: CDF of |predicted - measured| mean RTT (paper: 80% within 6 ms)\n"
+	out += analysis.FormatCDFSeries("absolute error (ms)", r.AbsErrsMs(),
+		[]float64{1, 2, 3, 4, 5, 6, 8, 10, 15, 20})
+	return out
+}
+
+// Fig5 predicts and then deploys numConfigs random configurations with sizes
+// drawn from 1..14 (the paper uses 38). churnFrac, when nonzero, perturbs
+// the Internet between discovery and each deployment, modeling the drift a
+// real campaign experiences between measuring preferences and using them.
+func (e *Env) Fig5(numConfigs int, churnFrac float64) (Fig5Result, error) {
+	if err := e.Discover(); err != nil {
+		return Fig5Result{}, err
+	}
+	if numConfigs <= 0 {
+		numConfigs = 38
+	}
+	rng := rand.New(rand.NewSource(e.Seed*31 + 7))
+	var res Fig5Result
+	for i := 0; i < numConfigs; i++ {
+		size := 1 + rng.Intn(14)
+		cfg := drawConfig(e.Sys, rng, size)
+
+		predicted, err := e.Sys.PredictCatchments(cfg)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		predMean, _, err := e.Sys.PredictMeanRTT(cfg)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		if churnFrac > 0 {
+			topology.Churn(e.Sys.Topo, churnFrac, e.Seed*1000+int64(i))
+		}
+		measured, rtts := e.Sys.MeasureConfiguration(cfg)
+		acc, n := predict.Accuracy(predicted, measured)
+		measMean, _ := predict.MeasuredMeanRTT(rtts)
+
+		absErr := predMean - measMean
+		if absErr < 0 {
+			absErr = -absErr
+		}
+		res.Configs = append(res.Configs, Fig5Config{
+			Config:        cfg,
+			Accuracy:      acc,
+			Comparable:    n,
+			PredictedMean: predMean,
+			MeasuredMean:  measMean,
+			AbsErr:        absErr,
+			RelErr:        analysis.RelErr(float64(predMean), float64(measMean)),
+		})
+	}
+	return res, nil
+}

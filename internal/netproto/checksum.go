@@ -1,0 +1,42 @@
+// Package netproto implements the packet formats AnyOpt's measurement plane
+// uses on the wire: IPv4 headers, ICMP echo messages carrying measurement
+// timestamps, and GRE encapsulation for the orchestrator↔site tunnels.
+//
+// The design follows gopacket's layering discipline — each layer marshals
+// and parses itself and exposes its payload — but uses only the standard
+// library. Probes built here are byte-exact IPv4/ICMP/GRE packets; in the
+// simulation they are carried by the bgp forwarding model instead of a NIC.
+package netproto
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether data (which embeds its checksum field)
+// checksums to zero, i.e. is internally consistent.
+func VerifyChecksum(data []byte) bool {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return uint16(sum) == 0xffff
+}

@@ -1,0 +1,87 @@
+package netproto
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Dissect renders a human-readable, line-per-layer description of a raw-IP
+// packet, following the layering the measurement plane uses:
+// IPv4 → (GRE → IPv4)? → ICMP. Unknown payloads are summarized, not
+// rejected, so Dissect is safe on any capture.
+func Dissect(pkt []byte) string {
+	var b strings.Builder
+	dissectIPv4(&b, pkt, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func dissectIPv4(b *strings.Builder, pkt []byte, depth int) {
+	hdr, payload, err := ParseIPv4(pkt)
+	if err != nil {
+		indent(b, depth)
+		fmt.Fprintf(b, "IPv4: unparseable (%v)\n", err)
+		return
+	}
+	indent(b, depth)
+	fmt.Fprintf(b, "IPv4 %s → %s ttl=%d proto=%d len=%d\n",
+		hdr.Src, hdr.Dst, hdr.TTL, hdr.Protocol, len(pkt))
+	switch hdr.Protocol {
+	case ProtoGRE:
+		dissectGRE(b, payload, depth+1)
+	case ProtoICMP:
+		dissectICMP(b, payload, depth+1)
+	default:
+		indent(b, depth+1)
+		fmt.Fprintf(b, "payload: %d bytes (protocol %d)\n", len(payload), hdr.Protocol)
+	}
+}
+
+func dissectGRE(b *strings.Builder, pkt []byte, depth int) {
+	gre, payload, err := ParseGRE(pkt)
+	if err != nil {
+		indent(b, depth)
+		fmt.Fprintf(b, "GRE: unparseable (%v)\n", err)
+		return
+	}
+	indent(b, depth)
+	if gre.KeyPresent {
+		siteKey := gre.Key & 0xffff
+		ord := gre.Key >> 16
+		fmt.Fprintf(b, "GRE key=%d (site tunnel %d, ingress ordinal %d) proto=%#04x\n",
+			gre.Key, siteKey, ord, gre.Protocol)
+	} else {
+		fmt.Fprintf(b, "GRE (no key) proto=%#04x\n", gre.Protocol)
+	}
+	if gre.Protocol == EtherTypeIPv4 {
+		dissectIPv4(b, payload, depth+1)
+	} else {
+		indent(b, depth+1)
+		fmt.Fprintf(b, "payload: %d bytes\n", len(payload))
+	}
+}
+
+func dissectICMP(b *strings.Builder, pkt []byte, depth int) {
+	echo, err := ParseICMPEcho(pkt)
+	if err != nil {
+		indent(b, depth)
+		fmt.Fprintf(b, "ICMP: unparseable (%v)\n", err)
+		return
+	}
+	kind := "echo-request"
+	if echo.Type == ICMPEchoReply {
+		kind = "echo-reply"
+	}
+	indent(b, depth)
+	fmt.Fprintf(b, "ICMP %s id=%d seq=%d", kind, echo.ID, echo.Seq)
+	if ts, err := echo.DecodeTimestamp(); err == nil {
+		fmt.Fprintf(b, " t=%v", time.Duration(ts).Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+}

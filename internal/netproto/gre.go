@@ -1,0 +1,69 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherTypeIPv4 is the GRE protocol type for an encapsulated IPv4 packet.
+const EtherTypeIPv4 = 0x0800
+
+// GRE is a generic routing encapsulation header (RFC 2784 with the optional
+// RFC 2890 key field). The testbed uses a GRE tunnel per anycast site; the
+// key identifies the tunnel, which is how the orchestrator learns which site
+// — and therefore which catchment — a reply came back through (§3.1).
+type GRE struct {
+	// Protocol is the EtherType of the payload.
+	Protocol uint16
+	// KeyPresent indicates the key field is carried.
+	KeyPresent bool
+	// Key identifies the tunnel.
+	Key uint32
+}
+
+// Marshal serializes the header followed by payload.
+func (g *GRE) Marshal(payload []byte) []byte {
+	n := 4
+	if g.KeyPresent {
+		n += 4
+	}
+	b := make([]byte, n+len(payload))
+	if g.KeyPresent {
+		b[0] |= 0x20 // K bit
+	}
+	binary.BigEndian.PutUint16(b[2:], g.Protocol)
+	if g.KeyPresent {
+		binary.BigEndian.PutUint32(b[4:], g.Key)
+	}
+	copy(b[n:], payload)
+	return b
+}
+
+// ParseGRE parses a GRE header and returns it with the payload (sliced from
+// data, not copied).
+func ParseGRE(data []byte) (*GRE, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("netproto: GRE header truncated: %d bytes", len(data))
+	}
+	flags := data[0]
+	if ver := data[1] & 0x07; ver != 0 {
+		return nil, nil, fmt.Errorf("netproto: GRE version %d unsupported", ver)
+	}
+	if flags&0x80 != 0 {
+		return nil, nil, fmt.Errorf("netproto: GRE checksum flag unsupported")
+	}
+	if flags&0x10 != 0 {
+		return nil, nil, fmt.Errorf("netproto: GRE sequence flag unsupported")
+	}
+	g := &GRE{Protocol: binary.BigEndian.Uint16(data[2:])}
+	off := 4
+	if flags&0x20 != 0 {
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("netproto: GRE key truncated")
+		}
+		g.KeyPresent = true
+		g.Key = binary.BigEndian.Uint32(data[4:])
+		off = 8
+	}
+	return g, data[off:], nil
+}

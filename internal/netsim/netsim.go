@@ -1,0 +1,156 @@
+// Package netsim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives the BGP route-propagation simulator: every route
+// advertisement, withdrawal, and timer expiry is an Event scheduled at a
+// virtual timestamp. Events fire in (time, sequence) order, so two runs with
+// the same inputs produce byte-identical traces. Virtual time is a
+// time.Duration offset from the simulation epoch; no wall-clock time is ever
+// consulted, which lets a simulated "two hours between BGP experiments"
+// complete in microseconds of real time.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a unit of work scheduled on the Engine.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At time.Duration
+	// Run executes the event. It may schedule further events.
+	Run func()
+
+	seq uint64 // tie-breaker: FIFO among events with equal At
+	idx int    // heap index
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use; the
+// simulation model is single-threaded by design so that event ordering — which
+// the BGP arrival-order tie-breaker depends on — is reproducible.
+type Engine struct {
+	queue   eventQueue
+	now     time.Duration
+	nextSeq uint64
+	steps   uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule enqueues run to execute at absolute virtual time at. Scheduling in
+// the past (before Now) is an error in the model and panics: it would make
+// event order depend on scheduling order rather than timestamps.
+func (e *Engine) Schedule(at time.Duration, run func()) *Event {
+	if run == nil {
+		panic("netsim: Schedule with nil run")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("netsim: Schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Run: run, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues run to execute d after the current virtual time.
+func (e *Engine) After(d time.Duration, run func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: After with negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, run)
+}
+
+// Cancel removes a scheduled event. Canceling an event that already fired or
+// was already canceled is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 || ev.idx >= len(e.queue) || e.queue[ev.idx] != ev {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	return true
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.steps++
+	ev.Run()
+	return true
+}
+
+// Run executes events until the queue drains and returns the number executed.
+func (e *Engine) Run() uint64 {
+	start := e.steps
+	for e.Step() {
+	}
+	return e.steps - start
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (even if no event fired exactly then). Events scheduled
+// after deadline remain queued.
+func (e *Engine) RunUntil(deadline time.Duration) uint64 {
+	start := e.steps
+	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.steps - start
+}
+
+// RunFor executes events for the next d of virtual time.
+func (e *Engine) RunFor(d time.Duration) uint64 {
+	return e.RunUntil(e.now + d)
+}
+
+// eventQueue is a min-heap on (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}

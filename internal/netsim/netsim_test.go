@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("equal-timestamp events not FIFO: %v", got)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var e Engine
+	var fired time.Duration
+	e.Schedule(100*time.Millisecond, func() {
+		e.After(50*time.Millisecond, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150*time.Millisecond {
+		t.Errorf("nested After fired at %v, want 150ms", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.Schedule(time.Second, func() { ran = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("Cancel returned true for already-canceled event")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event still ran")
+	}
+}
+
+func TestCancelFiredEvent(t *testing.T) {
+	var e Engine
+	ev := e.Schedule(time.Millisecond, func() {})
+	e.Run()
+	if e.Cancel(ev) {
+		t.Fatal("Cancel returned true for event that already fired")
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	ev := e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Cancel(ev)
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	n := e.RunUntil(20 * time.Millisecond)
+	if n != 2 {
+		t.Fatalf("RunUntil executed %d, want 2", n)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Errorf("Now = %v, want 20ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	var e Engine
+	e.RunUntil(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	var e Engine
+	e.Schedule(time.Second, func() {})
+	e.RunFor(500 * time.Millisecond)
+	if e.Now() != 500*time.Millisecond {
+		t.Errorf("Now = %v, want 500ms", e.Now())
+	}
+	e.RunFor(time.Second)
+	if e.Pending() != 0 {
+		t.Errorf("event at 1s did not fire by 1.5s")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(time.Millisecond, func() {})
+}
+
+func TestNilRunPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil run did not panic")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-time.Second, func() {})
+}
+
+// Property: for any random set of delays, events fire in nondecreasing time
+// order and all fire exactly once.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		var e Engine
+		var fired []time.Duration
+		for _, d := range delaysMS {
+			at := time.Duration(d) * time.Millisecond
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delaysMS) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two engines fed the same schedule execute identically.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		var trace []time.Duration
+		var add func(depth int)
+		add = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			e.After(time.Duration(rng.Intn(1000))*time.Millisecond, func() {
+				trace = append(trace, e.Now())
+				if rng.Intn(2) == 0 {
+					add(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < 20; i++ {
+			add(0)
+		}
+		e.Run()
+		return trace
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at %d: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		e.Run()
+	}
+}

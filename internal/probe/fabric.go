@@ -1,0 +1,178 @@
+package probe
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"anyopt/internal/bgp"
+	"anyopt/internal/netproto"
+	"anyopt/internal/testbed"
+	"anyopt/internal/topology"
+)
+
+// SimFabric carries probe packets over the simulated Internet: requests leave
+// the orchestrator (optionally via a site's GRE tunnel), replies follow the
+// BGP forwarding state of the given prefix back to a catchment site and
+// return through that site's tunnel.
+type SimFabric struct {
+	TB     *testbed.Testbed
+	Sim    *bgp.Sim
+	Prefix bgp.PrefixID
+	// Noise perturbs every traversal; nil means a noise-free channel.
+	Noise *NoiseModel
+	// Capture, when set, records every request and reply the orchestrator
+	// sees as raw-IP pcap records at their virtual timestamps — openable in
+	// tcpdump/Wireshark for debugging the measurement plane.
+	Capture *netproto.PcapWriter
+
+	targets map[netip.Addr]topology.Target
+}
+
+// NewSimFabric builds a fabric for one prefix.
+func NewSimFabric(tb *testbed.Testbed, sim *bgp.Sim, prefix bgp.PrefixID, noise *NoiseModel) *SimFabric {
+	targets := make(map[netip.Addr]topology.Target, len(tb.Topo.Targets))
+	for _, t := range tb.Topo.Targets {
+		targets[t.Addr] = t
+	}
+	return &SimFabric{TB: tb, Sim: sim, Prefix: prefix, Noise: noise, targets: targets}
+}
+
+// Probe implements Fabric.
+func (f *SimFabric) Probe(req []byte, sentAt time.Duration) ([]byte, time.Duration, error) {
+	if f.Capture != nil {
+		f.Capture.WritePacket(sentAt, req)
+	}
+	resp, recvAt, err := f.probe(req, sentAt)
+	if err == nil && f.Capture != nil {
+		f.Capture.WritePacket(recvAt, resp)
+	}
+	return resp, recvAt, err
+}
+
+// probe carries the packet over the simulated Internet.
+func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Duration, error) {
+	outer, payload, err := netproto.ParseIPv4(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("probe: malformed request: %w", err)
+	}
+
+	var inner *netproto.IPv4
+	var icmpBytes []byte
+	var fwdDelay time.Duration // orchestrator → target
+
+	switch outer.Protocol {
+	case netproto.ProtoGRE:
+		// RTT-mode probe: tunneled to a site, emitted there.
+		gre, ipPayload, err := netproto.ParseGRE(payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("probe: request GRE: %w", err)
+		}
+		if !gre.KeyPresent {
+			return nil, 0, fmt.Errorf("probe: tunneled request without key")
+		}
+		site := f.TB.SiteByTunnelKey(gre.Key)
+		if site == nil {
+			return nil, 0, fmt.Errorf("probe: unknown tunnel key %d", gre.Key)
+		}
+		inner, icmpBytes, err = netproto.ParseIPv4(ipPayload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("probe: inner request: %w", err)
+		}
+		target, ok := f.targets[inner.Dst]
+		if !ok {
+			return nil, 0, fmt.Errorf("probe: unknown target %v", inner.Dst)
+		}
+		// Orchestrator → site over the tunnel, then site → target. The
+		// site→target leg mirrors the BGP return path of the reply.
+		ret, routed := f.Sim.Forward(f.Prefix, target)
+		if !routed || f.TB.SiteByLink(ret.EntryLink) == nil {
+			return nil, 0, ErrUnreachable
+		}
+		fwdDelay = site.TunnelRTT/2 + ret.Delay
+
+	case netproto.ProtoICMP:
+		// Catchment-mode probe: sent directly toward the target.
+		inner, icmpBytes = outer, payload
+		target, ok := f.targets[inner.Dst]
+		if !ok {
+			return nil, 0, fmt.Errorf("probe: unknown target %v", inner.Dst)
+		}
+		// Direct unicast leg orchestrator → target.
+		fwdDelay = f.TB.Topo.Model.RTT(f.TB.OrchCoord, f.TB.Topo.AS(target.AS).Coord, 8) / 2
+
+	default:
+		return nil, 0, fmt.Errorf("probe: request protocol %d unsupported", outer.Protocol)
+	}
+
+	echo, err := netproto.ParseICMPEcho(icmpBytes)
+	if err != nil {
+		return nil, 0, fmt.Errorf("probe: request ICMP: %w", err)
+	}
+	if echo.Type != netproto.ICMPEchoRequest {
+		return nil, 0, fmt.Errorf("probe: request ICMP type %d", echo.Type)
+	}
+	target := f.targets[inner.Dst]
+
+	// Request leg noise and loss.
+	fwdDelay, alive := f.noise(fwdDelay)
+	if !alive {
+		return nil, 0, ErrLost
+	}
+
+	// The target replies to the anycast source; BGP routes it to the
+	// catchment site.
+	ret, ok := f.Sim.Forward(f.Prefix, target)
+	if !ok {
+		return nil, 0, ErrUnreachable
+	}
+	site := f.TB.SiteByLink(ret.EntryLink)
+	if site == nil {
+		return nil, 0, fmt.Errorf("probe: reply entered over non-testbed link %d", ret.EntryLink)
+	}
+	retDelay, alive := f.noise(ret.Delay)
+	if !alive {
+		return nil, 0, ErrLost
+	}
+	// Site → orchestrator through the GRE tunnel.
+	tunnelBack, alive := f.noise(site.TunnelRTT / 2)
+	if !alive {
+		return nil, 0, ErrLost
+	}
+
+	// Assemble the reply exactly as the site router would hand it up:
+	// IPv4(orch←site, GRE(key, IPv4(anycast←target, ICMP echo reply))).
+	replyInner := &netproto.IPv4{
+		TTL: 60, Protocol: netproto.ProtoICMP,
+		Src: inner.Dst, Dst: inner.Src,
+	}
+	innerPkt, err := replyInner.Marshal(echo.Reply().Marshal())
+	if err != nil {
+		return nil, 0, err
+	}
+	ord := site.LinkOrdinal(ret.EntryLink)
+	if ord < 0 {
+		return nil, 0, fmt.Errorf("probe: entry link %d not registered at site %d", ret.EntryLink, site.ID)
+	}
+	gre := &netproto.GRE{
+		Protocol:   netproto.EtherTypeIPv4,
+		KeyPresent: true,
+		Key:        testbed.EncodeTunnelKey(site.TunnelKey, ord),
+	}
+	replyOuter := &netproto.IPv4{
+		TTL: 62, Protocol: netproto.ProtoGRE,
+		Src: site.TunnelAddr, Dst: f.TB.OrchAddr,
+	}
+	wirePkt, err := replyOuter.Marshal(gre.Marshal(innerPkt))
+	if err != nil {
+		return nil, 0, err
+	}
+	return wirePkt, sentAt + fwdDelay + retDelay + tunnelBack, nil
+}
+
+func (f *SimFabric) noise(d time.Duration) (time.Duration, bool) {
+	if f.Noise == nil {
+		return d, true
+	}
+	return f.Noise.Apply(d)
+}

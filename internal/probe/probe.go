@@ -1,0 +1,307 @@
+// Package probe is the measurement plane: a Verfploeter-style prober
+// (§3.1–3.2) that discovers anycast catchments and measures client↔site RTTs
+// with real ICMP/GRE/IPv4 packets carried over the simulated Internet.
+//
+// Two probe forms exist, matching the paper:
+//
+//   - Catchment probe: the orchestrator sends an ICMP echo request to a
+//     target with the *anycast address as source*. The target's reply is
+//     routed by BGP to its catchment site, whose GRE tunnel returns it to
+//     the orchestrator; the tunnel key identifies the catchment.
+//
+//   - RTT probe: the request is first tunneled to a chosen site and emitted
+//     there, carrying a transmit timestamp. The orchestrator subtracts the
+//     separately measured tunnel RTT from the echo delay to obtain the
+//     site↔target RTT. Seven attempts are made and the median taken; at
+//     least three valid replies are required (§3.1).
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"anyopt/internal/netproto"
+)
+
+// ErrLost marks a probe lost in transit.
+var ErrLost = errors.New("probe: packet lost")
+
+// ErrUnreachable marks a target with no route to (or from) the prefix.
+var ErrUnreachable = errors.New("probe: no route")
+
+// Fabric delivers a probe packet and returns the reply as received at the
+// orchestrator. req is the raw packet the orchestrator emits: either an
+// IPv4(ICMP) probe sent directly, or IPv4(GRE(IPv4(ICMP))) tunneled via a
+// site. The reply is always IPv4(GRE(IPv4(ICMP))) — anycast replies come
+// back through a site tunnel. sentAt is the virtual transmit time; recvAt is
+// the virtual receive time.
+type Fabric interface {
+	Probe(req []byte, sentAt time.Duration) (resp []byte, recvAt time.Duration, err error)
+}
+
+// Config parameterizes a Prober.
+type Config struct {
+	// OrchAddr is the orchestrator's unicast address (outer tunnel source).
+	OrchAddr netip.Addr
+	// AnycastAddr is the anycast address used as probe source.
+	AnycastAddr netip.Addr
+	// Attempts is the number of echo requests per RTT measurement
+	// (paper: 7).
+	Attempts int
+	// MinValid is the minimum valid replies for a usable median (paper: 3).
+	MinValid int
+	// Gap spaces successive probe transmissions in virtual time.
+	Gap time.Duration
+}
+
+// DefaultConfig mirrors the paper's choices.
+func DefaultConfig(orch, anycast netip.Addr) Config {
+	return Config{
+		OrchAddr:    orch,
+		AnycastAddr: anycast,
+		Attempts:    7,
+		MinValid:    3,
+		Gap:         10 * time.Millisecond,
+	}
+}
+
+// Prober issues measurement probes over a Fabric.
+type Prober struct {
+	cfg    Config
+	fabric Fabric
+	clock  time.Duration
+	seq    uint16
+	id     uint16
+
+	// Sent and Received count probes for reporting.
+	Sent, Received uint64
+}
+
+// New creates a prober. The virtual clock starts at start.
+func New(fabric Fabric, cfg Config, start time.Duration) *Prober {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 7
+	}
+	if cfg.MinValid <= 0 {
+		cfg.MinValid = 3
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = 10 * time.Millisecond
+	}
+	return &Prober{cfg: cfg, fabric: fabric, clock: start, id: 0x4f50 /* "OP" */}
+}
+
+// Clock returns the prober's current virtual time.
+func (p *Prober) Clock() time.Duration { return p.clock }
+
+// buildEcho constructs the inner IPv4(ICMP echo request) with the anycast
+// source address and a transmit timestamp.
+func (p *Prober) buildEcho(dst netip.Addr) ([]byte, error) {
+	p.seq++
+	echo := &netproto.ICMPEcho{Type: netproto.ICMPEchoRequest, ID: p.id, Seq: p.seq}
+	echo.EncodeTimestamp(p.clock)
+	inner := &netproto.IPv4{
+		TTL: 64, Protocol: netproto.ProtoICMP,
+		Src: p.cfg.AnycastAddr, Dst: dst,
+	}
+	return inner.Marshal(echo.Marshal())
+}
+
+// parseReply unwraps IPv4(GRE(IPv4(ICMP echo reply))) and returns the tunnel
+// key and the echoed timestamp.
+func (p *Prober) parseReply(resp []byte) (key uint32, ts time.Duration, err error) {
+	outer, grePayload, err := netproto.ParseIPv4(resp)
+	if err != nil {
+		return 0, 0, fmt.Errorf("probe: outer header: %w", err)
+	}
+	if outer.Protocol != netproto.ProtoGRE {
+		return 0, 0, fmt.Errorf("probe: reply protocol %d, want GRE", outer.Protocol)
+	}
+	if outer.Dst != p.cfg.OrchAddr {
+		return 0, 0, fmt.Errorf("probe: reply delivered to %v, want orchestrator %v", outer.Dst, p.cfg.OrchAddr)
+	}
+	gre, ipPayload, err := netproto.ParseGRE(grePayload)
+	if err != nil {
+		return 0, 0, fmt.Errorf("probe: GRE: %w", err)
+	}
+	if !gre.KeyPresent {
+		return 0, 0, fmt.Errorf("probe: reply tunnel carries no key")
+	}
+	inner, icmpBytes, err := netproto.ParseIPv4(ipPayload)
+	if err != nil {
+		return 0, 0, fmt.Errorf("probe: inner header: %w", err)
+	}
+	if inner.Dst != p.cfg.AnycastAddr {
+		return 0, 0, fmt.Errorf("probe: inner reply to %v, want anycast %v", inner.Dst, p.cfg.AnycastAddr)
+	}
+	echo, err := netproto.ParseICMPEcho(icmpBytes)
+	if err != nil {
+		return 0, 0, fmt.Errorf("probe: ICMP: %w", err)
+	}
+	if echo.Type != netproto.ICMPEchoReply {
+		return 0, 0, fmt.Errorf("probe: ICMP type %d, want echo reply", echo.Type)
+	}
+	ts, err = echo.DecodeTimestamp()
+	if err != nil {
+		return 0, 0, err
+	}
+	return gre.Key, ts, nil
+}
+
+// Catchment sends one catchment probe to dst and returns the tunnel key of
+// the site the reply came back through.
+func (p *Prober) Catchment(dst netip.Addr) (uint32, error) {
+	req, err := p.buildEcho(dst)
+	if err != nil {
+		return 0, err
+	}
+	p.Sent++
+	sentAt := p.clock
+	p.clock += p.cfg.Gap
+	resp, recvAt, err := p.fabric.Probe(req, sentAt)
+	if err != nil {
+		return 0, err
+	}
+	p.Received++
+	if recvAt > p.clock {
+		p.clock = recvAt
+	}
+	key, _, err := p.parseReply(resp)
+	return key, err
+}
+
+// CatchmentRetry probes up to attempts times, tolerating loss.
+func (p *Prober) CatchmentRetry(dst netip.Addr, attempts int) (uint32, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		key, err := p.Catchment(dst)
+		if err == nil {
+			return key, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrUnreachable) {
+			break // retries won't help
+		}
+	}
+	return 0, lastErr
+}
+
+// RTT measures the round-trip time between the site behind tunnelKey and dst
+// using the paper's methodology: tunnel the request to the site, echo a
+// timestamp, take the median of Attempts samples, subtract tunnelRTT.
+func (p *Prober) RTT(tunnelKey uint32, siteAddr netip.Addr, tunnelRTT time.Duration, dst netip.Addr) (time.Duration, error) {
+	var samples []time.Duration
+	var lastErr error
+	for i := 0; i < p.cfg.Attempts; i++ {
+		inner, err := p.buildEcho(dst)
+		if err != nil {
+			return 0, err
+		}
+		gre := &netproto.GRE{Protocol: netproto.EtherTypeIPv4, KeyPresent: true, Key: tunnelKey}
+		outer := &netproto.IPv4{
+			TTL: 64, Protocol: netproto.ProtoGRE,
+			Src: p.cfg.OrchAddr, Dst: siteAddr,
+		}
+		req, err := outer.Marshal(gre.Marshal(inner))
+		if err != nil {
+			return 0, err
+		}
+		p.Sent++
+		sentAt := p.clock
+		p.clock += p.cfg.Gap
+		resp, recvAt, err := p.fabric.Probe(req, sentAt)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, ErrUnreachable) {
+				break
+			}
+			continue
+		}
+		p.Received++
+		if recvAt > p.clock {
+			p.clock = recvAt
+		}
+		_, ts, err := p.parseReply(resp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		samples = append(samples, recvAt-ts)
+	}
+	if len(samples) < p.cfg.MinValid {
+		if lastErr == nil {
+			lastErr = ErrLost
+		}
+		return 0, fmt.Errorf("probe: only %d of %d samples valid: %w", len(samples), p.cfg.Attempts, lastErr)
+	}
+	rtt := median(samples) - tunnelRTT
+	if rtt < 0 {
+		rtt = 0
+	}
+	return rtt, nil
+}
+
+// median returns the median of samples (lower middle for even counts).
+func median(samples []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// NoiseModel injects measurement noise into path delays, as the real
+// Internet would.
+type NoiseModel struct {
+	rng *rand.Rand
+	// JitterFrac scales multiplicative jitter (|N(0,1)|·frac of the delay).
+	JitterFrac float64
+	// SpikeProb is the chance of a queuing spike per traversal.
+	SpikeProb float64
+	// SpikeMax bounds a spike's added delay.
+	SpikeMax time.Duration
+	// LossProb is the chance a packet is dropped per traversal.
+	LossProb float64
+}
+
+// NewNoiseModel builds a model with the given seed. Zero-value fractions mean
+// a noise-free channel.
+func NewNoiseModel(seed int64, jitterFrac, spikeProb float64, spikeMax time.Duration, lossProb float64) *NoiseModel {
+	return &NoiseModel{
+		rng:        rand.New(rand.NewSource(seed)),
+		JitterFrac: jitterFrac,
+		SpikeProb:  spikeProb,
+		SpikeMax:   spikeMax,
+		LossProb:   lossProb,
+	}
+}
+
+// DefaultNoise matches a well-behaved Internet path: ~2% jitter, occasional
+// spikes, 1% loss.
+func DefaultNoise(seed int64) *NoiseModel {
+	return NewNoiseModel(seed, 0.02, 0.02, 25*time.Millisecond, 0.01)
+}
+
+// Apply perturbs a one-way delay and reports whether the packet survived.
+func (n *NoiseModel) Apply(d time.Duration) (time.Duration, bool) {
+	if n == nil {
+		return d, true
+	}
+	if n.LossProb > 0 && n.rng.Float64() < n.LossProb {
+		return 0, false
+	}
+	out := d
+	if n.JitterFrac > 0 {
+		j := n.rng.NormFloat64()
+		if j < 0 {
+			j = -j
+		}
+		out += time.Duration(float64(d) * j * n.JitterFrac)
+	}
+	if n.SpikeProb > 0 && n.rng.Float64() < n.SpikeProb {
+		out += time.Duration(n.rng.Int63n(int64(n.SpikeMax)))
+	}
+	return out, true
+}

@@ -1,0 +1,283 @@
+package probe
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"anyopt/internal/netproto"
+
+	"anyopt/internal/bgp"
+	"anyopt/internal/testbed"
+	"anyopt/internal/topology"
+)
+
+// rig bundles a converged deployment and a fabric over it.
+type rig struct {
+	tb   *testbed.Testbed
+	topo *topology.Topology
+	sim  *bgp.Sim
+	dep  *testbed.Deployment
+}
+
+func newRig(t testing.TB, sites ...int) *rig {
+	t.Helper()
+	topo, err := topology.Generate(topology.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := testbed.New(topo, testbed.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := bgp.New(topo, bgp.DefaultConfig())
+	dep := tb.NewDeployment(sim, 0)
+	if len(sites) > 0 {
+		dep.AnnounceSites(sites...)
+	}
+	return &rig{tb: tb, topo: topo, sim: sim, dep: dep}
+}
+
+func (r *rig) prober(noise *NoiseModel) *Prober {
+	fab := NewSimFabric(r.tb, r.sim, 0, noise)
+	return New(fab, DefaultConfig(r.tb.OrchAddr, r.tb.AnycastAddrs[0]), r.sim.Engine.Now())
+}
+
+func TestCatchmentProbeIdentifiesSite(t *testing.T) {
+	r := newRig(t, 1, 4, 6)
+	p := r.prober(nil)
+
+	enabled := map[int]bool{1: true, 4: true, 6: true}
+	for _, tg := range r.topo.Targets[:100] {
+		key, err := p.Catchment(tg.Addr)
+		if err != nil {
+			t.Fatalf("target %v: %v", tg.Addr, err)
+		}
+		site := r.tb.SiteByTunnelKey(key)
+		if site == nil || !enabled[site.ID] {
+			t.Fatalf("target %v caught by key %d (site %v)", tg.Addr, key, site)
+		}
+		// Cross-check against ground truth forwarding.
+		fw, ok := r.sim.Forward(0, tg)
+		if !ok {
+			t.Fatal("ground truth unroutable")
+		}
+		if r.tb.SiteByLink(fw.EntryLink) != site {
+			t.Fatalf("probe key %d disagrees with forwarding ground truth", key)
+		}
+		if link, ok := r.tb.LinkByTunnelKey(key); !ok || link != fw.EntryLink {
+			t.Fatalf("tunnel key %d decodes to link %d, ground truth %d", key, link, fw.EntryLink)
+		}
+	}
+	if p.Sent == 0 || p.Received != p.Sent {
+		t.Errorf("sent/received = %d/%d with noise-free fabric", p.Sent, p.Received)
+	}
+}
+
+func TestRTTProbeMatchesGroundTruth(t *testing.T) {
+	// Single-site announcement (§3.1 RTT methodology). Noise-free: measured
+	// RTT must equal 2× the forwarding delay exactly (tunnel RTT cancels).
+	r := newRig(t, 4)
+	p := r.prober(nil)
+	site := r.tb.Site(4)
+
+	for _, tg := range r.topo.Targets[:50] {
+		rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
+		if err != nil {
+			t.Fatalf("target %v: %v", tg.Addr, err)
+		}
+		fw, ok := r.sim.Forward(0, tg)
+		if !ok {
+			t.Fatal("unroutable")
+		}
+		want := 2 * fw.Delay
+		if d := rtt - want; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("target %v: RTT %v, ground truth %v", tg.Addr, rtt, want)
+		}
+	}
+}
+
+func TestRTTWithNoiseIsClose(t *testing.T) {
+	r := newRig(t, 4)
+	p := r.prober(DefaultNoise(7))
+	site := r.tb.Site(4)
+
+	var relErrs []float64
+	for _, tg := range r.topo.Targets[:60] {
+		rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
+		if err != nil {
+			continue // occasional loss bursts are fine
+		}
+		fw, _ := r.sim.Forward(0, tg)
+		want := 2 * fw.Delay
+		relErrs = append(relErrs, math.Abs(float64(rtt-want))/float64(want))
+	}
+	if len(relErrs) < 50 {
+		t.Fatalf("only %d/60 measurements succeeded", len(relErrs))
+	}
+	sum := 0.0
+	for _, e := range relErrs {
+		sum += e
+	}
+	if mean := sum / float64(len(relErrs)); mean > 0.10 {
+		t.Errorf("mean relative RTT error %.1f%% under default noise; median-of-7 should keep this under 10%%", mean*100)
+	}
+}
+
+func TestProbeLossRetry(t *testing.T) {
+	r := newRig(t, 1)
+	// Heavy loss: 30%. CatchmentRetry with 7 attempts should still almost
+	// always succeed; RTT needs ≥3 of 7 valid.
+	p := r.prober(NewNoiseModel(3, 0, 0, 0, 0.30))
+
+	ok := 0
+	for _, tg := range r.topo.Targets[:80] {
+		if _, err := p.CatchmentRetry(tg.Addr, 7); err == nil {
+			ok++
+		}
+	}
+	if float64(ok) < 0.95*80 {
+		t.Errorf("only %d/80 catchment probes succeeded under 30%% loss with 7 retries", ok)
+	}
+}
+
+func TestRTTFailsWhenTooFewSamples(t *testing.T) {
+	r := newRig(t, 1)
+	p := r.prober(NewNoiseModel(3, 0, 0, 0, 1.0)) // 100% loss
+	site := r.tb.Site(1)
+	if _, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, r.topo.Targets[0].Addr); err == nil {
+		t.Error("RTT succeeded with 100% loss")
+	}
+}
+
+func TestUnreachableWhenNothingAnnounced(t *testing.T) {
+	r := newRig(t) // no sites announced
+	p := r.prober(nil)
+	_, err := p.Catchment(r.topo.Targets[0].Addr)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestUnknownTargetRejected(t *testing.T) {
+	r := newRig(t, 1)
+	p := r.prober(nil)
+	if _, err := p.Catchment(r.tb.OrchAddr); err == nil {
+		t.Error("probing a non-target address succeeded")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []time.Duration
+		want time.Duration
+	}{
+		{[]time.Duration{5}, 5},
+		{[]time.Duration{1, 9, 5}, 5},
+		{[]time.Duration{9, 1, 5, 7}, 5},
+		{[]time.Duration{3, 3, 3, 100, 200, 3, 3}, 3}, // outliers filtered
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNoiseModelProperties(t *testing.T) {
+	n := DefaultNoise(1)
+	base := 50 * time.Millisecond
+	survived, total := 0, 5000
+	var sum time.Duration
+	for i := 0; i < total; i++ {
+		d, ok := n.Apply(base)
+		if !ok {
+			continue
+		}
+		survived++
+		if d < base {
+			t.Fatalf("noise shrank delay: %v < %v", d, base)
+		}
+		sum += d
+	}
+	lossRate := 1 - float64(survived)/float64(total)
+	if lossRate < 0.002 || lossRate > 0.03 {
+		t.Errorf("loss rate %.3f outside [0.002, 0.03] for 1%% nominal", lossRate)
+	}
+	mean := sum / time.Duration(survived)
+	if mean < base || mean > base+5*time.Millisecond {
+		t.Errorf("mean noisy delay %v implausible for base %v", mean, base)
+	}
+	// Nil model is a pass-through.
+	var nilModel *NoiseModel
+	if d, ok := nilModel.Apply(base); !ok || d != base {
+		t.Error("nil noise model altered the packet")
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	r := newRig(t, 1)
+	p := r.prober(nil)
+	t0 := p.Clock()
+	if _, err := p.Catchment(r.topo.Targets[0].Addr); err != nil {
+		t.Fatal(err)
+	}
+	if p.Clock() <= t0 {
+		t.Error("virtual clock did not advance across a probe")
+	}
+}
+
+func BenchmarkCatchmentProbe(b *testing.B) {
+	r := newRig(b, 1, 4, 6)
+	p := r.prober(nil)
+	tg := r.topo.Targets[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Catchment(tg.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFabricPcapCapture(t *testing.T) {
+	r := newRig(t, 1, 4)
+	fab := NewSimFabric(r.tb, r.sim, 0, nil)
+	var buf bytes.Buffer
+	w, err := netproto.NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab.Capture = w
+	p := New(fab, DefaultConfig(r.tb.OrchAddr, r.tb.AnycastAddrs[0]), 0)
+
+	n := 5
+	for _, tg := range r.topo.Targets[:n] {
+		if _, err := p.Catchment(tg.Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One request + one reply per probe.
+	if w.Count() != 2*n {
+		t.Fatalf("captured %d packets, want %d", w.Count(), 2*n)
+	}
+	_, packets, stamps, err := netproto.ReadPcap(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) != 2*n {
+		t.Fatalf("parsed %d packets", len(packets))
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatalf("capture timestamps not monotone at %d", i)
+		}
+	}
+	// Every captured packet must parse as IPv4.
+	for i, pkt := range packets {
+		if _, _, err := netproto.ParseIPv4(pkt); err != nil {
+			t.Fatalf("packet %d unparseable: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"anyopt/internal/geo"
+)
+
+// jsonTopology is the serialized form of a Topology. The format is
+// versioned; it captures everything generation produced, so an imported
+// topology behaves identically to the original under simulation.
+type jsonTopology struct {
+	Version int        `json:"version"`
+	Params  Params     `json:"params"`
+	ASes    []jsonAS   `json:"ases"`
+	Links   []jsonLink `json:"links"`
+	Targets []jsonTgt  `json:"targets"`
+}
+
+type jsonAS struct {
+	ASN       ASN         `json:"asn"`
+	Name      string      `json:"name"`
+	Tier      uint8       `json:"tier"`
+	Lat       float64     `json:"lat"`
+	Lon       float64     `json:"lon"`
+	PoPs      []jsonPoP   `json:"pops,omitempty"`
+	RouterID  uint32      `json:"router_id"`
+	Multipath bool        `json:"multipath,omitempty"`
+	Deltas    []jsonDelta `json:"deltas,omitempty"`
+}
+
+type jsonPoP struct {
+	City string  `json:"city"`
+	Lat  float64 `json:"lat"`
+	Lon  float64 `json:"lon"`
+}
+
+type jsonDelta struct {
+	Neighbor ASN `json:"n"`
+	Delta    int `json:"d"`
+}
+
+type jsonLink struct {
+	From    ASN   `json:"from"`
+	To      ASN   `json:"to"`
+	Rel     uint8 `json:"rel"`
+	FromPoP int   `json:"from_pop"`
+	ToPoP   int   `json:"to_pop"`
+	DelayNs int64 `json:"delay_ns"`
+}
+
+type jsonTgt struct {
+	Addr     string `json:"addr"`
+	AS       ASN    `json:"as"`
+	FlowSalt uint64 `json:"salt"`
+}
+
+// topologyFormatVersion guards the serialization format.
+const topologyFormatVersion = 1
+
+// ExportJSON serializes the topology, including any testbed additions made
+// after generation (origin AS, site and peering links).
+func (t *Topology) ExportJSON() ([]byte, error) {
+	dump := jsonTopology{Version: topologyFormatVersion, Params: t.Params}
+	for _, a := range t.sortedASes() {
+		ja := jsonAS{
+			ASN: a.ASN, Name: a.Name, Tier: uint8(a.Tier),
+			Lat: a.Coord.Lat, Lon: a.Coord.Lon,
+			RouterID: a.RouterID, Multipath: a.Multipath,
+		}
+		for _, p := range a.PoPs {
+			ja.PoPs = append(ja.PoPs, jsonPoP{City: p.City, Lat: p.Coord.Lat, Lon: p.Coord.Lon})
+		}
+		if len(a.LocalPrefDelta) > 0 {
+			neighbors := make([]ASN, 0, len(a.LocalPrefDelta))
+			for n := range a.LocalPrefDelta {
+				neighbors = append(neighbors, n)
+			}
+			sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+			for _, n := range neighbors {
+				ja.Deltas = append(ja.Deltas, jsonDelta{Neighbor: n, Delta: a.LocalPrefDelta[n]})
+			}
+		}
+		dump.ASes = append(dump.ASes, ja)
+	}
+	for _, l := range t.Links {
+		dump.Links = append(dump.Links, jsonLink{
+			From: l.From, To: l.To, Rel: uint8(l.Rel),
+			FromPoP: l.FromPoP, ToPoP: l.ToPoP, DelayNs: int64(l.Delay),
+		})
+	}
+	for _, tg := range t.Targets {
+		dump.Targets = append(dump.Targets, jsonTgt{
+			Addr: tg.Addr.String(), AS: tg.AS, FlowSalt: tg.FlowSalt,
+		})
+	}
+	return json.MarshalIndent(&dump, "", " ")
+}
+
+// ImportJSON rebuilds a topology from ExportJSON's output.
+func ImportJSON(data []byte) (*Topology, error) {
+	var dump jsonTopology
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return nil, fmt.Errorf("topology: decoding JSON: %w", err)
+	}
+	if dump.Version != topologyFormatVersion {
+		return nil, fmt.Errorf("topology: format version %d, want %d", dump.Version, topologyFormatVersion)
+	}
+	t := &Topology{
+		ASes:   make(map[ASN]*AS, len(dump.ASes)),
+		adj:    make(map[ASN][]*Link),
+		Model:  dump.Params.Model,
+		Params: dump.Params,
+	}
+	var maxASN ASN
+	for _, ja := range dump.ASes {
+		if _, dup := t.ASes[ja.ASN]; dup {
+			return nil, fmt.Errorf("topology: duplicate AS %d", ja.ASN)
+		}
+		a := &AS{
+			ASN: ja.ASN, Name: ja.Name, Tier: Tier(ja.Tier),
+			Coord:    geo.Coord{Lat: ja.Lat, Lon: ja.Lon},
+			RouterID: ja.RouterID, Multipath: ja.Multipath,
+		}
+		for _, p := range ja.PoPs {
+			a.PoPs = append(a.PoPs, PoP{City: p.City, Coord: geo.Coord{Lat: p.Lat, Lon: p.Lon}})
+		}
+		if len(ja.Deltas) > 0 {
+			a.LocalPrefDelta = make(map[ASN]int, len(ja.Deltas))
+			for _, d := range ja.Deltas {
+				a.LocalPrefDelta[d.Neighbor] = d.Delta
+			}
+		}
+		t.ASes[a.ASN] = a
+		if a.ASN > maxASN {
+			maxASN = a.ASN
+		}
+	}
+	t.nextASN = maxASN + 1
+	for i, jl := range dump.Links {
+		fa, ta := t.ASes[jl.From], t.ASes[jl.To]
+		if fa == nil || ta == nil {
+			return nil, fmt.Errorf("topology: link %d references unknown AS", i)
+		}
+		if jl.DelayNs <= 0 {
+			return nil, fmt.Errorf("topology: link %d has non-positive delay", i)
+		}
+		l := &Link{
+			ID: LinkID(i), From: jl.From, To: jl.To, Rel: Relationship(jl.Rel),
+			FromPoP: jl.FromPoP, ToPoP: jl.ToPoP, Delay: time.Duration(jl.DelayNs),
+		}
+		t.Links = append(t.Links, l)
+		t.adj[l.From] = append(t.adj[l.From], l)
+		t.adj[l.To] = append(t.adj[l.To], l)
+	}
+	t.nextLinkID = LinkID(len(t.Links))
+	for _, jt := range dump.Targets {
+		addr, err := netip.ParseAddr(jt.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("topology: target address %q: %w", jt.Addr, err)
+		}
+		if t.ASes[jt.AS] == nil {
+			return nil, fmt.Errorf("topology: target references unknown AS %d", jt.AS)
+		}
+		t.Targets = append(t.Targets, Target{Addr: addr, AS: jt.AS, FlowSalt: jt.FlowSalt})
+	}
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	orig := mustGen(t, TestParams())
+	data, err := orig.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumASes() != orig.NumASes() {
+		t.Fatalf("AS count %d vs %d", got.NumASes(), orig.NumASes())
+	}
+	for asn, a := range orig.ASes {
+		b := got.ASes[asn]
+		if b == nil {
+			t.Fatalf("AS %d missing after import", asn)
+		}
+		if a.Name != b.Name || a.Tier != b.Tier || a.RouterID != b.RouterID ||
+			a.Multipath != b.Multipath || a.Coord != b.Coord {
+			t.Fatalf("AS %d differs: %+v vs %+v", asn, a, b)
+		}
+		if len(a.PoPs) != len(b.PoPs) {
+			t.Fatalf("AS %d PoP count differs", asn)
+		}
+		for i := range a.PoPs {
+			if a.PoPs[i] != b.PoPs[i] {
+				t.Fatalf("AS %d PoP %d differs", asn, i)
+			}
+		}
+		if len(a.LocalPrefDelta) != len(b.LocalPrefDelta) {
+			t.Fatalf("AS %d deltas differ", asn)
+		}
+		for n, d := range a.LocalPrefDelta {
+			if b.LocalPrefDelta[n] != d {
+				t.Fatalf("AS %d delta for %d differs", asn, n)
+			}
+		}
+	}
+	if len(got.Links) != len(orig.Links) {
+		t.Fatalf("link count %d vs %d", len(got.Links), len(orig.Links))
+	}
+	for i, la := range orig.Links {
+		lb := got.Links[i]
+		if la.From != lb.From || la.To != lb.To || la.Rel != lb.Rel ||
+			la.FromPoP != lb.FromPoP || la.ToPoP != lb.ToPoP || la.Delay != lb.Delay {
+			t.Fatalf("link %d differs: %+v vs %+v", i, la, lb)
+		}
+	}
+	if len(got.Targets) != len(orig.Targets) {
+		t.Fatalf("target counts differ")
+	}
+	for i := range orig.Targets {
+		if got.Targets[i] != orig.Targets[i] {
+			t.Fatalf("target %d differs", i)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("imported topology invalid: %v", err)
+	}
+	// The imported topology must accept further construction.
+	a := got.AddAS("extra", TierOrigin, orig.Tier1s()[0].Coord)
+	l := got.AddLink(a.ASN, got.Tier1s()[0].ASN, CustomerProvider, -1, 0)
+	if got.Link(l.ID) != l {
+		t.Error("links added after import are not addressable")
+	}
+	if orig.ASes[a.ASN] != nil {
+		t.Error("import aliases the original topology")
+	}
+}
+
+func TestImportJSONSecondExportIdentical(t *testing.T) {
+	orig := mustGen(t, TestParams())
+	d1, err := orig.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := ImportJSON(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := imported.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Error("export → import → export is not a fixed point")
+	}
+}
+
+func TestImportJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "][",
+		"wrong version": `{"version": 9}`,
+		"dup AS":        `{"version": 1, "ases": [{"asn": 1}, {"asn": 1}]}`,
+		"unknown link AS": `{"version": 1, "ases": [{"asn": 1}],
+			"links": [{"from": 1, "to": 2, "delay_ns": 5}]}`,
+		"bad delay": `{"version": 1, "ases": [{"asn": 1}, {"asn": 2}],
+			"links": [{"from": 1, "to": 2, "delay_ns": 0}]}`,
+		"bad target addr": `{"version": 1, "ases": [{"asn": 1}],
+			"targets": [{"addr": "nope", "as": 1}]}`,
+		"unknown target AS": `{"version": 1, "ases": [{"asn": 1}],
+			"targets": [{"addr": "10.0.0.1", "as": 7}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ImportJSON([]byte(data)); err == nil {
+			t.Errorf("%s: imported successfully", name)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

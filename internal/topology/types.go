@@ -1,0 +1,318 @@
+// Package topology generates and represents synthetic AS-level Internet
+// topologies for anycast experiments.
+//
+// The real AnyOpt testbed announces prefixes into the production Internet; we
+// substitute a generated topology with the structural features the paper's
+// analysis depends on: a clique of tier-1 transit providers, a middle tier of
+// regional transit ASes, thousands of stub (client) networks, settlement-free
+// peering edges, and — inside transit providers — PoP-level structure with
+// IGP costs so that intra-AS (hot-potato) catchment selection is meaningful.
+//
+// Everything is placed geographically (see package geo) so link delays,
+// BGP-advertisement arrival order, and client RTTs all derive from the same
+// coherent model.
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"anyopt/internal/geo"
+)
+
+// ASN is an autonomous-system number.
+type ASN uint32
+
+// Tier classifies an AS's role in the hierarchy.
+type Tier uint8
+
+const (
+	// TierT1 is a tier-1 transit provider: no providers of its own, peers
+	// with every other tier-1 (settlement-free clique).
+	TierT1 Tier = iota
+	// TierTransit is a regional/national transit provider: customer of one
+	// or more tier-1s, provider to stubs, peers laterally.
+	TierTransit
+	// TierStub is a client network (enterprise, campus, eyeball ISP).
+	TierStub
+	// TierOrigin is the anycast network itself (added by the testbed).
+	TierOrigin
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierT1:
+		return "tier1"
+	case TierTransit:
+		return "transit"
+	case TierStub:
+		return "stub"
+	case TierOrigin:
+		return "origin"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// Relationship is the business relationship of a link, following the
+// Gao-Rexford model.
+type Relationship uint8
+
+const (
+	// CustomerProvider marks a link whose From side is the customer and
+	// whose To side is the provider.
+	CustomerProvider Relationship = iota
+	// PeerPeer marks a settlement-free peering link.
+	PeerPeer
+)
+
+func (r Relationship) String() string {
+	switch r {
+	case CustomerProvider:
+		return "customer-provider"
+	case PeerPeer:
+		return "peer-peer"
+	default:
+		return fmt.Sprintf("rel(%d)", uint8(r))
+	}
+}
+
+// PoP is a point of presence of a transit AS.
+type PoP struct {
+	City  string
+	Coord geo.Coord
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN  ASN
+	Name string
+	Tier Tier
+	// Coord is the AS's primary location (for stubs, the network itself;
+	// for transit ASes, the headquarters — PoPs carry the real footprint).
+	Coord geo.Coord
+	// PoPs is non-empty for transit ASes. Links attach to a specific PoP.
+	PoPs []PoP
+	// RouterID breaks final BGP ties, as in the last step of the decision
+	// process.
+	RouterID uint32
+	// Multipath marks ASes that load-share across equally preferred routes
+	// per flow hash instead of picking a single best path. The paper (§4.2)
+	// identifies these as one source of inconsistent preference orders.
+	Multipath bool
+	// LocalPrefDelta holds per-neighbor LOCAL_PREF adjustments for
+	// "policy-deviant" ASes whose preferences are not purely
+	// relationship-based (traffic engineering). These violate the paper's
+	// sufficient conditions (§4.1) and produce clients without total orders.
+	LocalPrefDelta map[ASN]int
+}
+
+// PoPCount returns the number of PoPs, treating PoP-less ASes as one.
+func (a *AS) PoPCount() int {
+	if len(a.PoPs) == 0 {
+		return 1
+	}
+	return len(a.PoPs)
+}
+
+// PoPCoord returns the coordinate of PoP i, falling back to the AS coordinate
+// for single-location ASes (i < 0 or no PoPs).
+func (a *AS) PoPCoord(i int) geo.Coord {
+	if i < 0 || i >= len(a.PoPs) {
+		return a.Coord
+	}
+	return a.PoPs[i].Coord
+}
+
+// LinkID identifies a link within a Topology.
+type LinkID int32
+
+// Link is an inter-AS adjacency. For CustomerProvider links, From is the
+// customer and To the provider. Each endpoint attaches at a PoP index of the
+// respective AS (-1 when the AS has no PoP structure).
+type Link struct {
+	ID      LinkID
+	From    ASN
+	To      ASN
+	Rel     Relationship
+	FromPoP int
+	ToPoP   int
+	// Delay is the one-way propagation delay of the link.
+	Delay time.Duration
+}
+
+// Other returns the far endpoint as seen from a.
+func (l *Link) Other(a ASN) ASN {
+	if l.From == a {
+		return l.To
+	}
+	return l.From
+}
+
+// PoPAt returns the attachment PoP index on the a side of the link.
+func (l *Link) PoPAt(a ASN) int {
+	if l.From == a {
+		return l.FromPoP
+	}
+	return l.ToPoP
+}
+
+// RelFrom classifies the far endpoint from a's point of view:
+// the returned value is the role of the *other* end.
+type NeighborRole uint8
+
+const (
+	// RoleCustomer: the other end is a's customer.
+	RoleCustomer NeighborRole = iota
+	// RolePeer: the other end is a's settlement-free peer.
+	RolePeer
+	// RoleProvider: the other end is a's provider.
+	RoleProvider
+)
+
+func (r NeighborRole) String() string {
+	switch r {
+	case RoleCustomer:
+		return "customer"
+	case RolePeer:
+		return "peer"
+	case RoleProvider:
+		return "provider"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// RoleOf returns the role of the neighbor on link l from a's perspective.
+func (l *Link) RoleOf(a ASN) NeighborRole {
+	if l.Rel == PeerPeer {
+		return RolePeer
+	}
+	if l.From == a {
+		// a is the customer, so the other end is a's provider.
+		return RoleProvider
+	}
+	return RoleCustomer
+}
+
+// Target is a ping target: a router inside (or near) a client network, one
+// representative per client network, mirroring §3.2 of the paper.
+type Target struct {
+	// Addr is the target's synthetic IPv4 address.
+	Addr netip.Addr
+	// AS is the client network the target represents.
+	AS ASN
+	// FlowSalt seeds per-flow hashing at multipath ASes.
+	FlowSalt uint64
+}
+
+// Topology is an immutable-after-generation AS graph.
+type Topology struct {
+	ASes  map[ASN]*AS
+	Links []*Link
+	// adj maps each AS to its incident links.
+	adj map[ASN][]*Link
+	// Targets are the measurement targets, sorted by address.
+	Targets []Target
+	// Model converts distance to delay; shared by all consumers.
+	Model geo.LatencyModel
+	// Params echoes the generation parameters.
+	Params Params
+
+	nextASN    ASN
+	nextLinkID LinkID
+}
+
+// NewEmpty returns an empty topology ready for manual construction via AddAS
+// and AddLink — used for hand-crafted scenarios in tests and examples.
+func NewEmpty(model geo.LatencyModel) *Topology {
+	return &Topology{
+		ASes:    make(map[ASN]*AS),
+		adj:     make(map[ASN][]*Link),
+		Model:   model,
+		nextASN: 100,
+	}
+}
+
+// AS returns the AS with the given number, or nil.
+func (t *Topology) AS(a ASN) *AS { return t.ASes[a] }
+
+// LinksOf returns the links incident to a. The returned slice must not be
+// modified.
+func (t *Topology) LinksOf(a ASN) []*Link { return t.adj[a] }
+
+// Link returns the link with the given ID, or nil.
+func (t *Topology) Link(id LinkID) *Link {
+	if id < 0 || int(id) >= len(t.Links) {
+		return nil
+	}
+	return t.Links[id]
+}
+
+// NumASes returns the number of ASes.
+func (t *Topology) NumASes() int { return len(t.ASes) }
+
+// AddAS inserts a new AS with the next free ASN and returns it.
+func (t *Topology) AddAS(name string, tier Tier, c geo.Coord) *AS {
+	asn := t.nextASN
+	t.nextASN++
+	a := &AS{ASN: asn, Name: name, Tier: tier, Coord: c, RouterID: uint32(asn)}
+	t.ASes[asn] = a
+	return a
+}
+
+// AddLink inserts a link between two existing ASes, computing its delay from
+// the attachment-PoP coordinates, and returns it.
+func (t *Topology) AddLink(from, to ASN, rel Relationship, fromPoP, toPoP int) *Link {
+	fa, ta := t.ASes[from], t.ASes[to]
+	if fa == nil || ta == nil {
+		panic(fmt.Sprintf("topology: AddLink with unknown AS %d or %d", from, to))
+	}
+	delay := t.Model.LinkDelay(fa.PoPCoord(fromPoP), ta.PoPCoord(toPoP))
+	l := &Link{
+		ID: t.nextLinkID, From: from, To: to, Rel: rel,
+		FromPoP: fromPoP, ToPoP: toPoP, Delay: delay,
+	}
+	t.nextLinkID++
+	t.Links = append(t.Links, l)
+	t.adj[from] = append(t.adj[from], l)
+	t.adj[to] = append(t.adj[to], l)
+	return l
+}
+
+// NearestPoP returns the index of the PoP of a closest to c, or -1 when the
+// AS has no PoP structure.
+func (t *Topology) NearestPoP(a ASN, c geo.Coord) int {
+	as := t.ASes[a]
+	if as == nil || len(as.PoPs) == 0 {
+		return -1
+	}
+	best, bestD := 0, geo.DistanceKm(as.PoPs[0].Coord, c)
+	for i := 1; i < len(as.PoPs); i++ {
+		if d := geo.DistanceKm(as.PoPs[i].Coord, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// IGPCost returns the intra-AS routing cost between two PoPs of a transit AS,
+// modeled as the great-circle distance in kilometers. Indices outside the PoP
+// list (including -1) denote the AS's primary location.
+func (t *Topology) IGPCost(a ASN, popA, popB int) float64 {
+	as := t.ASes[a]
+	if as == nil {
+		return 0
+	}
+	return geo.DistanceKm(as.PoPCoord(popA), as.PoPCoord(popB))
+}
+
+// IGPDelay converts an intra-AS PoP-to-PoP traversal into a delay.
+func (t *Topology) IGPDelay(a ASN, popA, popB int) time.Duration {
+	as := t.ASes[a]
+	if as == nil || popA == popB {
+		return 0
+	}
+	return t.Model.OneWay(geo.DistanceKm(as.PoPCoord(popA), as.PoPCoord(popB)), 1)
+}
