@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the parallel experiment executor under the race detector;
+# the determinism tests run campaigns at several worker counts.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# check is the CI gate: static analysis, the full suite, and the race pass.
+check: vet test race

@@ -155,6 +155,17 @@ func (s *System) MeasureConfiguration(cfg Config) (map[Client]int, map[Client]ti
 	return s.Disc.RunConfigurationRTTs(cfg)
 }
 
+// MeasureConfigurations deploys each configuration on its own experiment,
+// fanned across the discovery executor, and returns results in configuration
+// order — identical to calling MeasureConfiguration once per entry.
+func (s *System) MeasureConfigurations(cfgs []Config) []discovery.ConfigResult {
+	raw := make([][]int, len(cfgs))
+	for i, c := range cfgs {
+		raw[i] = c
+	}
+	return s.Disc.RunConfigurationsRTTs(raw)
+}
+
 // OptimizeResult is the outcome of an offline configuration search.
 type OptimizeResult struct {
 	// Config is the chosen configuration in deployable announcement order.

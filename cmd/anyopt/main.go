@@ -8,7 +8,9 @@
 //	anyopt optimize -k 12             offline search + baselines
 //	anyopt peers -k 12 -max 30        one-pass peering evaluation
 //
-// Global flags (before the subcommand): -scale test|paper, -seed N.
+// Global flags (before the subcommand): -scale test|paper, -seed N,
+// -workers N (experiment parallelism; also via ANYOPT_WORKERS, default
+// GOMAXPROCS — worker count never changes results, only wall-clock).
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: anyopt [-scale test|paper] [-seed N] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: anyopt [-scale test|paper] [-seed N] [-workers N] <command> [args]
 
 commands:
   table1      print the testbed layout
@@ -51,6 +53,7 @@ func main() {
 	scale := flag.String("scale", "test", "topology scale: test or paper")
 	seed := flag.Int64("seed", 1, "topology seed")
 	campaignFile := flag.String("campaign", "", "load discovery results from this snapshot instead of re-measuring")
+	workers := flag.Int("workers", 0, "experiment executor workers (0 = ANYOPT_WORKERS or GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -63,6 +66,9 @@ func main() {
 		log.Fatal(err)
 	}
 	sys := env.Sys
+	if *workers != 0 {
+		sys.Disc.SetWorkers(*workers)
+	}
 	if *campaignFile != "" {
 		f, err := os.Open(*campaignFile)
 		if err != nil {

@@ -28,9 +28,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
 	var (
-		scale = flag.String("scale", "test", "topology scale: test or default")
-		seed  = flag.Int64("seed", 1, "topology seed")
-		fig4c = flag.Bool("fig4c", false, "include the (slow) Figure 4c site-level sweep")
+		scale   = flag.String("scale", "test", "topology scale: test or default")
+		seed    = flag.Int64("seed", 1, "topology seed")
+		fig4c   = flag.Bool("fig4c", false, "include the (slow) Figure 4c site-level sweep")
+		workers = flag.Int("workers", 0, "experiment executor workers (0 = ANYOPT_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,9 @@ func main() {
 	}
 	fmt.Printf("topology: %v\n", topo.ComputeStats())
 
-	d := discovery.New(tb, discovery.DefaultConfig())
+	dcfg := discovery.DefaultConfig()
+	dcfg.Workers = *workers
+	d := discovery.New(tb, dcfg)
 	reps := d.Representatives()
 
 	// Fig 4a: catchment flip fraction per provider pair under order

@@ -1,8 +1,6 @@
 package bgp
 
 import (
-	"sort"
-
 	"anyopt/internal/geo"
 	"anyopt/internal/topology"
 )
@@ -46,12 +44,25 @@ func (s *Sim) selectBest(a topology.ASN, rib *ribState) (*route, []*route) {
 	if len(rib.in) == 0 {
 		return nil, nil
 	}
-	routes := make([]*route, 0, len(rib.in))
+	// The working slice lives on the Sim and is reused across decisions; only
+	// the candidate set (stored in the RIB) gets its own allocation.
+	routes := s.routeScratch[:0]
 	for _, r := range rib.in {
 		routes = append(routes, r)
 	}
-	// Deterministic base order regardless of map iteration.
-	sort.Slice(routes, func(i, j int) bool { return routes[i].link.ID < routes[j].link.ID })
+	// Deterministic base order regardless of map iteration. Insertion sort:
+	// the slice is bounded by the AS's degree and usually tiny, and
+	// sort.Slice would allocate a closure and swapper per decision.
+	for i := 1; i < len(routes); i++ {
+		r := routes[i]
+		j := i - 1
+		for j >= 0 && routes[j].link.ID > r.link.ID {
+			routes[j+1] = routes[j]
+			j--
+		}
+		routes[j+1] = r
+	}
+	s.routeScratch = routes[:0]
 
 	best := routes[0]
 	for _, r := range routes[1:] {
@@ -59,7 +70,13 @@ func (s *Sim) selectBest(a topology.ASN, rib *ribState) (*route, []*route) {
 			best = r
 		}
 	}
-	var candidates []*route
+	nCand := 0
+	for _, r := range routes {
+		if r.localPref == best.localPref && r.pathLen() == best.pathLen() {
+			nCand++
+		}
+	}
+	candidates := make([]*route, 0, nCand)
 	for _, r := range routes {
 		if r.localPref == best.localPref && r.pathLen() == best.pathLen() {
 			candidates = append(candidates, r)

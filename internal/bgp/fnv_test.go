@@ -1,0 +1,40 @@
+package bgp
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestInlineFNVMatchesStdlib locks the inlined hash to hash/fnv: procDelay
+// and flowIndex results — and therefore every recorded experiment outcome —
+// must not shift when the hashing implementation changes.
+func TestInlineFNVMatchesStdlib(t *testing.T) {
+	cases := [][]uint64{
+		{0},
+		{1, 2, 3},
+		{0x57ab1e},
+		{42, 7, 0x57ab1e},
+		{42, 7, 123456789},
+		{^uint64(0), 1 << 63, 0xdeadbeef},
+	}
+	for _, words := range cases {
+		want := func() uint64 {
+			h := fnv.New64a()
+			var buf [8]byte
+			for _, v := range words {
+				for i := 0; i < 8; i++ {
+					buf[i] = byte(v >> (8 * i))
+				}
+				h.Write(buf[:])
+			}
+			return h.Sum64()
+		}()
+		got := fnvOffset64
+		for _, v := range words {
+			got = fnvU64(got, v)
+		}
+		if got != want {
+			t.Fatalf("fnvU64 over %v = %#x, stdlib fnv = %#x", words, got, want)
+		}
+	}
+}

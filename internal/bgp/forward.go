@@ -2,7 +2,6 @@ package bgp
 
 import (
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"anyopt/internal/topology"
@@ -48,7 +47,6 @@ func (s *Sim) Forward(p PrefixID, target topology.Target) (ForwardResult, bool) 
 	cur := target.AS
 	ingressPoP := -1 // targets sit at the client network itself
 	var res ForwardResult
-	visited := map[topology.ASN]bool{}
 	strictBest := false
 
 	for hop := 0; ; hop++ {
@@ -57,7 +55,6 @@ func (s *Sim) Forward(p PrefixID, target topology.Target) (ForwardResult, bool) 
 				maxForwardHops, target.Addr, p))
 		}
 		res.ASPath = append(res.ASPath, cur)
-		visited[cur] = true
 
 		rib := ps.ribs[cur]
 		if rib == nil || rib.best == nil {
@@ -65,7 +62,9 @@ func (s *Sim) Forward(p PrefixID, target topology.Target) (ForwardResult, bool) 
 		}
 		r := s.chooseForwardingRoute(ps, cur, ingressPoP, rib, target, strictBest)
 		next := r.link.Other(cur)
-		if next != ps.origin && visited[next] && !strictBest {
+		// res.ASPath doubles as the visited set: walks are at most
+		// maxForwardHops long, so a linear scan beats a per-call map.
+		if next != ps.origin && asPathContains(res.ASPath, next) && !strictBest {
 			// ECMP ping-pong: re-resolve under strict best-path forwarding.
 			strictBest = true
 			r = s.chooseForwardingRoute(ps, cur, ingressPoP, rib, target, true)
@@ -145,20 +144,20 @@ func (s *Sim) chooseForwardingRoute(ps *prefixState, cur topology.ASN, ingressPo
 // routes, keyed by flow salt, the AS doing the hashing, and the identities of
 // all candidate links.
 func flowIndex(target topology.Target, at topology.ASN, candidates []*route) int {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	put(target.FlowSalt)
-	put(uint64(at))
+	h := fnvU64(fnvU64(fnvOffset64, target.FlowSalt), uint64(at))
 	for _, c := range candidates {
-		put(uint64(c.link.ID))
+		h = fnvU64(h, uint64(c.link.ID))
 	}
-	return int(h.Sum64() % uint64(len(candidates)))
+	return int(h % uint64(len(candidates)))
+}
+
+func asPathContains(path []topology.ASN, a topology.ASN) bool {
+	for _, hop := range path {
+		if hop == a {
+			return true
+		}
+	}
+	return false
 }
 
 // CatchmentMap computes, for every target, the origin link (site attachment)

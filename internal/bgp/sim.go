@@ -23,7 +23,7 @@ package bgp
 
 import (
 	"fmt"
-	"hash/fnv"
+	"sort"
 	"time"
 
 	"anyopt/internal/netsim"
@@ -127,6 +127,65 @@ type Sim struct {
 
 	// failed marks links that are administratively or physically down.
 	failed map[topology.LinkID]bool
+
+	// paths hands out announced-path storage without a make per update.
+	paths pathArena
+	// routes and ribs slab-allocate the two per-update object kinds.
+	routes slab[route]
+	ribs   slab[ribState]
+	// routeScratch backs selectBest's working slice across decisions.
+	routeScratch []*route
+}
+
+// slab hands out zeroed T's carved from chunked backing arrays, for objects
+// that live until the Sim is dropped — one allocation per chunk instead of
+// one per object.
+type slab[T any] struct {
+	free []T
+}
+
+const slabChunk = 512
+
+func (s *slab[T]) alloc() *T {
+	if len(s.free) == 0 {
+		s.free = make([]T, slabChunk)
+	}
+	p := &s.free[0]
+	s.free = s.free[1:]
+	return p
+}
+
+// pathArena carves immutable AS-path slices out of chunked slabs. Every
+// exported update used to allocate its own path slice; paths are never
+// mutated after construction and live as long as the routes holding them, so
+// slab storage is handed out once and never reused.
+type pathArena struct {
+	free []topology.ASN
+}
+
+const pathArenaChunk = 4096
+
+// alloc returns a zeroed n-element path with capacity capped at n, so later
+// appends by callers can never clobber a neighboring path in the slab.
+func (pa *pathArena) alloc(n int) []topology.ASN {
+	if n > len(pa.free) {
+		size := pathArenaChunk
+		if n > size {
+			size = n
+		}
+		pa.free = make([]topology.ASN, size)
+	}
+	p := pa.free[:n:n]
+	pa.free = pa.free[n:]
+	return p
+}
+
+// newPath builds the path [first, rest...] in arena storage.
+func (pa *pathArena) newPath(first topology.ASN, rest []topology.ASN) []topology.ASN {
+	p := pa.alloc(1 + len(rest))
+	p[0] = first
+	copy(p[1:], rest)
+	return p
 }
 
 type prefixState struct {
@@ -152,24 +211,30 @@ func New(topo *topology.Topology, cfg Config) *Sim {
 	}
 }
 
-// state returns (creating if needed) the per-prefix state.
+// state returns (creating if needed) the per-prefix state. The RIB map is
+// pre-sized for the topology: a converged announcement reaches essentially
+// every AS, so growing the map incrementally just reallocates on the way
+// there.
 func (s *Sim) state(p PrefixID) *prefixState {
 	ps := s.prefixes[p]
 	if ps == nil {
 		ps = &prefixState{
 			announced: make(map[topology.LinkID]int),
 			meds:      make(map[topology.LinkID]int),
-			ribs:      make(map[topology.ASN]*ribState),
+			ribs:      make(map[topology.ASN]*ribState, s.Topo.NumASes()),
 		}
 		s.prefixes[p] = ps
 	}
 	return ps
 }
 
-func (ps *prefixState) rib(a topology.ASN) *ribState {
+// rib returns (creating if needed) AS a's per-prefix RIB, with the Adj-RIB-In
+// pre-sized to the AS's degree — its maximum possible population.
+func (s *Sim) rib(ps *prefixState, a topology.ASN) *ribState {
 	r := ps.ribs[a]
 	if r == nil {
-		r = &ribState{in: make(map[topology.LinkID]*route)}
+		r = s.ribs.alloc()
+		r.in = make(map[topology.LinkID]*route, len(s.Topo.LinksOf(a)))
 		ps.ribs[a] = r
 	}
 	return r
@@ -207,7 +272,7 @@ func (s *Sim) AnnounceMED(p PrefixID, origin topology.ASN, link topology.LinkID,
 	ps.meds[link] = med
 
 	// Build the announced path: origin ASN once plus prepends.
-	path := make([]topology.ASN, 1+prepend)
+	path := s.paths.alloc(1 + prepend)
 	for i := range path {
 		path[i] = origin
 	}
@@ -230,18 +295,18 @@ func (s *Sim) Withdraw(p PrefixID, link topology.LinkID) {
 	s.deliver(p, l, l.Other(ps.origin), nil, 0)
 }
 
-// WithdrawAll withdraws the prefix from every currently announced link.
+// WithdrawAll withdraws the prefix from every currently announced link, in
+// ascending link-ID order so the resulting event schedule is reproducible —
+// map-iteration order here used to leak into withdrawal-event sequence
+// numbers and, through same-timestamp ties, into routing outcomes.
 func (s *Sim) WithdrawAll(p PrefixID) {
-	ps := s.prefixes[p]
-	if ps == nil {
-		return
-	}
-	for link := range ps.announced {
+	for _, link := range s.AnnouncedLinks(p) {
 		s.Withdraw(p, link)
 	}
 }
 
-// AnnouncedLinks returns the origin links currently carrying prefix p.
+// AnnouncedLinks returns the origin links currently carrying prefix p, in
+// ascending link-ID order.
 func (s *Sim) AnnouncedLinks(p PrefixID) []topology.LinkID {
 	ps := s.prefixes[p]
 	if ps == nil {
@@ -251,6 +316,7 @@ func (s *Sim) AnnouncedLinks(p PrefixID) []topology.LinkID {
 	for l := range ps.announced {
 		out = append(out, l)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -274,23 +340,13 @@ func (s *Sim) deliver(p PrefixID, l *topology.Link, dst topology.ASN, path []top
 // component from (AS, prefix) plus a small race component re-rolled per
 // experiment nonce.
 func (s *Sim) procDelay(a topology.ASN, p PrefixID) time.Duration {
-	hash := func(parts ...uint64) uint64 {
-		h := fnv.New64a()
-		var buf [8]byte
-		for _, v := range parts {
-			for i := 0; i < 8; i++ {
-				buf[i] = byte(v >> (8 * i))
-			}
-			h.Write(buf[:])
-		}
-		return h.Sum64()
-	}
+	base := fnvU64(fnvU64(fnvOffset64, uint64(a)), uint64(p))
 	d := s.Cfg.ProcDelayMin
 	if span := s.Cfg.ProcDelayMax - s.Cfg.ProcDelayMin; span > 0 {
-		d += time.Duration(hash(uint64(a), uint64(p), 0x57ab1e) % uint64(span))
+		d += time.Duration(fnvU64(base, 0x57ab1e) % uint64(span))
 	}
 	if s.Cfg.RaceJitter > 0 {
-		d += time.Duration(hash(uint64(a), uint64(p), s.Cfg.JitterNonce) % uint64(s.Cfg.RaceJitter))
+		d += time.Duration(fnvU64(base, s.Cfg.JitterNonce) % uint64(s.Cfg.RaceJitter))
 	}
 	return d
 }
@@ -299,7 +355,7 @@ func (s *Sim) procDelay(a topology.ASN, p PrefixID) time.Duration {
 func (s *Sim) receive(p PrefixID, l *topology.Link, a topology.ASN, path []topology.ASN, med int) {
 	s.Updates++
 	ps := s.state(p)
-	rib := ps.rib(a)
+	rib := s.rib(ps, a)
 	as := s.Topo.AS(a)
 	neighbor := l.Other(a)
 
@@ -317,7 +373,8 @@ func (s *Sim) receive(p PrefixID, l *topology.Link, a topology.ASN, path []topol
 			}
 		}
 		nb := s.Topo.AS(neighbor)
-		r := &route{
+		r := s.routes.alloc()
+		*r = route{
 			link:             l,
 			path:             path,
 			localPref:        s.importPref(as, l),
@@ -381,7 +438,7 @@ func (s *Sim) export(p PrefixID, ps *prefixState, a topology.ASN, rib *ribState,
 
 	var newPath []topology.ASN
 	if newBest != nil {
-		newPath = append([]topology.ASN{a}, newBest.path...)
+		newPath = s.paths.newPath(a, newBest.path)
 	}
 
 	for _, nl := range s.Topo.LinksOf(a) {

@@ -8,14 +8,23 @@
 // reflecting that real experiments happen hours apart on an Internet whose
 // races never replay identically. The prefix is withdrawn between
 // experiments, as the paper does.
+//
+// Experiments are mutually independent, so campaign drivers submit them in
+// batches to a worker pool (internal/exec). Nonces are assigned at
+// submission time, in submission order, before any experiment starts —
+// making every experiment's outcome a pure function of its inputs and the
+// campaign's results byte-identical whether the batch runs on one worker or
+// many.
 package discovery
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"anyopt/internal/bgp"
 	"anyopt/internal/core/prefs"
+	"anyopt/internal/exec"
 	"anyopt/internal/probe"
 	"anyopt/internal/testbed"
 	"anyopt/internal/topology"
@@ -34,6 +43,9 @@ type Config struct {
 	Noisy     bool
 	// ProbeAttempts overrides the per-measurement attempt count (default 7).
 	ProbeAttempts int
+	// Workers bounds how many experiments run concurrently; <= 0 selects
+	// exec.DefaultWorkers (ANYOPT_WORKERS or GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig returns the paper-faithful campaign settings.
@@ -59,6 +71,7 @@ type Discovery struct {
 	ProbesSent uint64
 
 	nonce uint64
+	pool  *exec.Pool
 }
 
 // New creates a discovery campaign over tb.
@@ -66,30 +79,90 @@ func New(tb *testbed.Testbed, cfg Config) *Discovery {
 	if cfg.Spacing <= 0 {
 		cfg.Spacing = 6 * time.Minute
 	}
-	return &Discovery{TB: tb, Cfg: cfg}
+	return &Discovery{TB: tb, Cfg: cfg, pool: exec.New(cfg.Workers)}
 }
 
-// freshSim builds a new simulation with a fresh jitter nonce, modeling an
-// independent experiment run.
-func (d *Discovery) freshSim() *bgp.Sim {
-	d.nonce++
-	cfg := d.Cfg.SimCfg
-	cfg.JitterNonce = d.nonce
-	return bgp.New(d.TB.Topo, cfg)
+// SetWorkers re-targets the executor; n <= 0 selects exec.DefaultWorkers.
+// Worker count never affects results, only wall-clock.
+func (d *Discovery) SetWorkers(n int) { d.pool = exec.New(n) }
+
+// Workers returns the executor's worker count.
+func (d *Discovery) Workers() int { return d.pool.Workers() }
+
+// Exp is the context of one experiment inside a batch: the jitter nonce
+// fixed at submission time plus a private probe counter. Everything an
+// experiment reads through it — topology, testbed, campaign config — is
+// immutable while the batch runs, so experiments are safe to run on any
+// worker in any order.
+type Exp struct {
+	d      *Discovery
+	nonce  uint64
+	probes uint64
 }
 
-// prober builds a measurement prober over sim with per-experiment noise.
-func (d *Discovery) prober(sim *bgp.Sim) *probe.Prober {
-	var noise *probe.NoiseModel
-	if d.Cfg.Noisy {
-		noise = probe.DefaultNoise(d.Cfg.NoiseSeed + int64(d.nonce)*7919)
+// batch runs n experiments through the worker pool. Nonces are drawn from
+// the campaign counter in submission order before any experiment starts;
+// probe counts fold back into the campaign totals after all finish. Callers
+// account Experiments/Slots themselves (slot structure varies by driver).
+func (d *Discovery) batch(n int, fn func(e *Exp, i int)) {
+	exps := make([]Exp, n)
+	for i := range exps {
+		d.nonce++
+		exps[i] = Exp{d: d, nonce: d.nonce}
 	}
-	fab := probe.NewSimFabric(d.TB, sim, 0, noise)
-	cfg := probe.DefaultConfig(d.TB.OrchAddr, d.TB.AnycastAddrs[0])
-	if d.Cfg.ProbeAttempts > 0 {
-		cfg.Attempts = d.Cfg.ProbeAttempts
+	d.pool.ForEach(n, func(i int) { fn(&exps[i], i) })
+	for i := range exps {
+		d.ProbesSent += exps[i].probes
+	}
+}
+
+// sim builds this experiment's simulation with its own jitter nonce,
+// modeling an independent experiment run.
+func (e *Exp) sim() *bgp.Sim {
+	cfg := e.d.Cfg.SimCfg
+	cfg.JitterNonce = e.nonce
+	return bgp.New(e.d.TB.Topo, cfg)
+}
+
+// proberAt builds a measurement prober over sim for the given test prefix,
+// with per-experiment noise offset by seedExtra (parallel-prefix slots give
+// each prefix its own noise stream).
+func (e *Exp) proberAt(sim *bgp.Sim, prefix bgp.PrefixID, seedExtra int64) *probe.Prober {
+	var noise *probe.NoiseModel
+	if e.d.Cfg.Noisy {
+		noise = probe.DefaultNoise(e.d.Cfg.NoiseSeed + int64(e.nonce)*7919 + seedExtra)
+	}
+	fab := probe.NewSimFabric(e.d.TB, sim, prefix, noise)
+	cfg := probe.DefaultConfig(e.d.TB.OrchAddr, e.d.TB.AnycastAddrs[prefix])
+	if e.d.Cfg.ProbeAttempts > 0 {
+		cfg.Attempts = e.d.Cfg.ProbeAttempts
 	}
 	return probe.New(fab, cfg, sim.Engine.Now())
+}
+
+// prober builds the default prober (prefix 0) over sim.
+func (e *Exp) prober(sim *bgp.Sim) *probe.Prober { return e.proberAt(sim, 0, 0) }
+
+// deploy announces siteIDs in order (spaced) plus any peering links on a
+// fresh simulation and returns it.
+func (e *Exp) deploy(siteIDs []int, peers []topology.LinkID) *bgp.Sim {
+	sim := e.sim()
+	dep := e.d.TB.NewDeployment(sim, 0)
+	dep.Spacing = e.d.Cfg.Spacing
+	dep.AnnounceSites(siteIDs...)
+	for _, pl := range peers {
+		dep.EnablePeer(pl)
+	}
+	return sim
+}
+
+// deploySimultaneous announces both sites at the same instant on a fresh
+// simulation, leaving arrival order to jitter.
+func (e *Exp) deploySimultaneous(a, b int) *bgp.Sim {
+	sim := e.sim()
+	dep := e.d.TB.NewDeployment(sim, 0)
+	dep.AnnounceSitesSimultaneously(a, b)
+	return sim
 }
 
 // Observation is one client's measured state under a deployed configuration.
@@ -107,15 +180,16 @@ type Observation struct {
 // observe measures every target's catchment (and optionally RTT) under the
 // current routing state. Targets whose probes are lost or unroutable are
 // absent from the result.
-func (d *Discovery) observe(sim *bgp.Sim, p *probe.Prober, withRTT bool) map[prefs.Client]Observation {
-	out := make(map[prefs.Client]Observation, len(d.TB.Topo.Targets))
-	for _, tg := range d.TB.Topo.Targets {
+func (e *Exp) observe(p *probe.Prober, withRTT bool) map[prefs.Client]Observation {
+	tb := e.d.TB
+	out := make(map[prefs.Client]Observation, len(tb.Topo.Targets))
+	for _, tg := range tb.Topo.Targets {
 		key, err := p.CatchmentRetry(tg.Addr, 3)
 		if err != nil {
 			continue
 		}
-		site := d.TB.SiteByTunnelKey(key)
-		link, okLink := d.TB.LinkByTunnelKey(key)
+		site := tb.SiteByTunnelKey(key)
+		link, okLink := tb.LinkByTunnelKey(key)
 		if site == nil || !okLink {
 			continue
 		}
@@ -127,45 +201,112 @@ func (d *Discovery) observe(sim *bgp.Sim, p *probe.Prober, withRTT bool) map[pre
 		}
 		out[prefs.Client(tg.AS)] = obs
 	}
-	d.ProbesSent += p.Sent
+	e.probes += p.Sent
 	return out
 }
 
 // catchments reduces observe to site IDs, for preference discovery.
-func (d *Discovery) catchments(sim *bgp.Sim, p *probe.Prober) map[prefs.Client]int {
+func (e *Exp) catchments(p *probe.Prober) map[prefs.Client]int {
 	out := make(map[prefs.Client]int)
-	for c, obs := range d.observe(sim, p, false) {
+	for c, obs := range e.observe(p, false) {
 		out[c] = obs.Site
 	}
 	return out
 }
 
+// singletonRTTs announces site id alone and measures every target's RTT to
+// it through the site's tunnel.
+func (e *Exp) singletonRTTs(id int) map[prefs.Client]time.Duration {
+	site := e.d.TB.Site(id)
+	sim := e.sim()
+	dep := e.d.TB.NewDeployment(sim, 0)
+	dep.AnnounceSites(id)
+	p := e.prober(sim)
+
+	m := make(map[prefs.Client]time.Duration, len(e.d.TB.Topo.Targets))
+	for _, tg := range e.d.TB.Topo.Targets {
+		rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
+		if err != nil {
+			continue
+		}
+		m[prefs.Client(tg.AS)] = rtt
+	}
+	e.probes += p.Sent
+	return m
+}
+
+// PeerDeployment describes one experiment for RunConfigurationsWithPeers:
+// sites announced in order, then peering links enabled.
+type PeerDeployment struct {
+	Sites []int
+	Peers []topology.LinkID
+}
+
+// RunConfigurationsWithPeers runs one deployment experiment per entry across
+// the worker pool and returns full per-client observations (including RTTs)
+// in entry order — the workhorse of the one-pass peering experiments (§4.4).
+func (d *Discovery) RunConfigurationsWithPeers(deps []PeerDeployment) []map[prefs.Client]Observation {
+	out := make([]map[prefs.Client]Observation, len(deps))
+	d.batch(len(deps), func(e *Exp, i int) {
+		sim := e.deploy(deps[i].Sites, deps[i].Peers)
+		out[i] = e.observe(e.prober(sim), true)
+	})
+	d.Experiments += len(deps)
+	return out
+}
+
 // RunConfigurationWithPeers deploys site IDs in announcement order, then
 // additionally announces the given peering links (after the sites), and
-// returns full per-client observations including RTTs — the workhorse of the
-// one-pass peering experiments (§4.4).
+// returns full per-client observations including RTTs.
 func (d *Discovery) RunConfigurationWithPeers(siteIDs []int, peers []topology.LinkID) map[prefs.Client]Observation {
-	d.Experiments++
-	sim := d.freshSim()
-	dep := d.TB.NewDeployment(sim, 0)
-	dep.Spacing = d.Cfg.Spacing
-	dep.AnnounceSites(siteIDs...)
-	for _, pl := range peers {
-		dep.EnablePeer(pl)
-	}
-	return d.observe(sim, d.prober(sim), true)
+	return d.RunConfigurationsWithPeers([]PeerDeployment{{Sites: siteIDs, Peers: peers}})[0]
+}
+
+// RunConfigurations runs one ordered deployment per configuration across the
+// worker pool and returns measured catchments in configuration order,
+// byte-identical to calling RunConfiguration once per entry.
+func (d *Discovery) RunConfigurations(configs [][]int) []map[prefs.Client]int {
+	out := make([]map[prefs.Client]int, len(configs))
+	d.batch(len(configs), func(e *Exp, i int) {
+		sim := e.deploy(configs[i], nil)
+		out[i] = e.catchments(e.prober(sim))
+	})
+	d.Experiments += len(configs)
+	return out
 }
 
 // RunConfiguration deploys the given site IDs in announcement order (spaced)
 // and measures every target's catchment — the "deploy and measure" step of
 // §5.2. It returns the measured catchments (site IDs per client).
 func (d *Discovery) RunConfiguration(siteIDs []int) map[prefs.Client]int {
-	d.Experiments++
-	sim := d.freshSim()
-	dep := d.TB.NewDeployment(sim, 0)
-	dep.Spacing = d.Cfg.Spacing
-	dep.AnnounceSites(siteIDs...)
-	return d.catchments(sim, d.prober(sim))
+	return d.RunConfigurations([][]int{siteIDs})[0]
+}
+
+// ConfigResult is one deployment's measured catchments and RTTs.
+type ConfigResult struct {
+	Catchments map[prefs.Client]int
+	RTTs       map[prefs.Client]time.Duration
+}
+
+// RunConfigurationsRTTs runs one deployment per configuration across the
+// worker pool, measuring each target's catchment and the RTT to it, and
+// returns results in configuration order.
+func (d *Discovery) RunConfigurationsRTTs(configs [][]int) []ConfigResult {
+	out := make([]ConfigResult, len(configs))
+	d.batch(len(configs), func(e *Exp, i int) {
+		sim := e.deploy(configs[i], nil)
+		catch := make(map[prefs.Client]int, len(d.TB.Topo.Targets))
+		rtts := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
+		for c, obs := range e.observe(e.prober(sim), true) {
+			catch[c] = obs.Site
+			if obs.HasRTT {
+				rtts[c] = obs.RTT
+			}
+		}
+		out[i] = ConfigResult{Catchments: catch, RTTs: rtts}
+	})
+	d.Experiments += len(configs)
+	return out
 }
 
 // RunConfigurationRTTs deploys a configuration and measures, for every
@@ -173,21 +314,8 @@ func (d *Discovery) RunConfiguration(siteIDs []int) map[prefs.Client]int {
 // tunneled RTT probe through that site), mirroring the enhanced Verfploeter
 // methodology. It returns per-client catchment sites and RTTs.
 func (d *Discovery) RunConfigurationRTTs(siteIDs []int) (map[prefs.Client]int, map[prefs.Client]time.Duration) {
-	d.Experiments++
-	sim := d.freshSim()
-	dep := d.TB.NewDeployment(sim, 0)
-	dep.Spacing = d.Cfg.Spacing
-	dep.AnnounceSites(siteIDs...)
-
-	catch := make(map[prefs.Client]int, len(d.TB.Topo.Targets))
-	rtts := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
-	for c, obs := range d.observe(sim, d.prober(sim), true) {
-		catch[c] = obs.Site
-		if obs.HasRTT {
-			rtts[c] = obs.RTT
-		}
-	}
-	return catch, rtts
+	r := d.RunConfigurationsRTTs([][]int{siteIDs})[0]
+	return r.Catchments, r.RTTs
 }
 
 // RTTTable holds site↔client RTTs from singleton experiments.
@@ -234,28 +362,20 @@ func (t *RTTTable) MeanUnicast(site int) time.Duration {
 // MeasureRTTs runs one singleton experiment per site (§4.5 step 1): announce
 // the prefix from that site alone, then measure the RTT from every target.
 func (d *Discovery) MeasureRTTs(siteIDs []int) (*RTTTable, error) {
-	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
 	for _, id := range siteIDs {
-		site := d.TB.Site(id)
-		if site == nil {
+		if d.TB.Site(id) == nil {
 			return nil, fmt.Errorf("discovery: unknown site %d", id)
 		}
-		d.Experiments++
-		sim := d.freshSim()
-		dep := d.TB.NewDeployment(sim, 0)
-		dep.AnnounceSites(id)
-		p := d.prober(sim)
+	}
+	rows := make([]map[prefs.Client]time.Duration, len(siteIDs))
+	d.batch(len(siteIDs), func(e *Exp, i int) {
+		rows[i] = e.singletonRTTs(siteIDs[i])
+	})
+	d.Experiments += len(siteIDs)
 
-		m := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
-		for _, tg := range d.TB.Topo.Targets {
-			rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
-			if err != nil {
-				continue
-			}
-			m[prefs.Client(tg.AS)] = rtt
-		}
-		d.ProbesSent += p.Sent
-		tbl.bySite[id] = m
+	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
+	for i, id := range siteIDs {
+		tbl.bySite[id] = rows[i]
 	}
 	return tbl, nil
 }
@@ -264,41 +384,33 @@ func (d *Discovery) MeasureRTTs(siteIDs []int) (*RTTTable, error) {
 // one singleton experiment per test anycast prefix runs in the same
 // experiment slot, dividing campaign wall-clock by the prefix count (the
 // paper runs four prefixes to turn 1000 hours into 250). The per-site
-// results match serial measurement up to race and noise effects.
+// results match serial measurement up to race and noise effects. Slots, each
+// a whole simulation, additionally fan out across the worker pool.
 func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 	nPrefixes := len(d.TB.AnycastAddrs)
 	if nPrefixes == 0 {
 		return nil, fmt.Errorf("discovery: testbed has no anycast prefixes")
 	}
-	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
-	for start := 0; start < len(siteIDs); start += nPrefixes {
-		batch := siteIDs[start:min(start+nPrefixes, len(siteIDs))]
-		sim := d.freshSim()
+	for _, id := range siteIDs {
+		if d.TB.Site(id) == nil {
+			return nil, fmt.Errorf("discovery: unknown site %d", id)
+		}
+	}
+	nSlots := (len(siteIDs) + nPrefixes - 1) / nPrefixes
+	rows := make([]map[prefs.Client]time.Duration, len(siteIDs))
+	d.batch(nSlots, func(e *Exp, slot int) {
+		start := slot * nPrefixes
+		group := siteIDs[start:min(start+nPrefixes, len(siteIDs))]
+		sim := e.sim()
 		// One prefix per site, announced simultaneously: distinct prefixes
-		// never interact, so a slot carries len(batch) experiments.
-		for i, id := range batch {
-			site := d.TB.Site(id)
-			if site == nil {
-				return nil, fmt.Errorf("discovery: unknown site %d", id)
-			}
-			d.Experiments++
-			sim.Announce(bgp.PrefixID(i), d.TB.Origin, site.TransitLink, 0)
+		// never interact, so a slot carries len(group) experiments.
+		for i, id := range group {
+			sim.Announce(bgp.PrefixID(i), d.TB.Origin, d.TB.Site(id).TransitLink, 0)
 		}
 		sim.Converge()
-		d.Slots++
-		for i, id := range batch {
+		for i, id := range group {
 			site := d.TB.Site(id)
-			var noise *probe.NoiseModel
-			if d.Cfg.Noisy {
-				noise = probe.DefaultNoise(d.Cfg.NoiseSeed + int64(d.nonce)*7919 + int64(i))
-			}
-			fab := probe.NewSimFabric(d.TB, sim, bgp.PrefixID(i), noise)
-			cfg := probe.DefaultConfig(d.TB.OrchAddr, d.TB.AnycastAddrs[i])
-			if d.Cfg.ProbeAttempts > 0 {
-				cfg.Attempts = d.Cfg.ProbeAttempts
-			}
-			p := probe.New(fab, cfg, sim.Engine.Now())
-
+			p := e.proberAt(sim, bgp.PrefixID(i), int64(i))
 			m := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
 			for _, tg := range d.TB.Topo.Targets {
 				rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
@@ -307,9 +419,16 @@ func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 				}
 				m[prefs.Client(tg.AS)] = rtt
 			}
-			d.ProbesSent += p.Sent
-			tbl.bySite[id] = m
+			e.probes += p.Sent
+			rows[start+i] = m
 		}
+	})
+	d.Experiments += len(siteIDs)
+	d.Slots += nSlots
+
+	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
+	for i, id := range siteIDs {
+		tbl.bySite[id] = rows[i]
 	}
 	return tbl, nil
 }
@@ -326,6 +445,31 @@ func (d *Discovery) Representatives() map[topology.ASN]int {
 	return reps
 }
 
+// sortedClients returns m's keys in ascending order, so preference recording
+// — and with it the store's client enumeration order — never depends on map
+// iteration.
+func sortedClients[V any](m map[prefs.Client]V) []prefs.Client {
+	out := make([]prefs.Client, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// runSimultaneousPairs announces each pair of sites simultaneously, one
+// experiment per pair, across the worker pool, returning catchments in pair
+// order.
+func (d *Discovery) runSimultaneousPairs(pairs [][2]int) []map[prefs.Client]int {
+	out := make([]map[prefs.Client]int, len(pairs))
+	d.batch(len(pairs), func(e *Exp, i int) {
+		sim := e.deploySimultaneous(pairs[i][0], pairs[i][1])
+		out[i] = e.catchments(e.prober(sim))
+	})
+	d.Experiments += len(pairs)
+	return out
+}
+
 // ProviderPrefs discovers each client's pairwise preferences between transit
 // providers using order-controlled experiments (§4.3 "Provider-Level
 // Preference Discovery"): for every provider pair, one representative site
@@ -340,6 +484,9 @@ func (d *Discovery) ProviderPrefs(reps map[topology.ASN]int) (*prefs.Store, erro
 	if err != nil {
 		return nil, err
 	}
+	type pair struct{ a, b topology.ASN }
+	var pairs []pair
+	var configs [][]int
 	for a := 0; a < len(providers); a++ {
 		for b := a + 1; b < len(providers); b++ {
 			pa, pb := providers[a], providers[b]
@@ -351,20 +498,25 @@ func (d *Discovery) ProviderPrefs(reps map[topology.ASN]int) (*prefs.Store, erro
 			if !ok {
 				return nil, fmt.Errorf("discovery: no representative for provider %d", pb)
 			}
-			winAB := d.RunConfiguration([]int{sa, sb}) // a's rep announced first
-			winBA := d.RunConfiguration([]int{sb, sa}) // reversed
-			for c, siteAB := range winAB {
-				siteBA, ok := winBA[c]
-				if !ok {
-					continue // lost probes in one experiment: skip client
-				}
-				provOf := func(siteID int) prefs.Item {
-					return prefs.Item(d.TB.Site(siteID).Transit)
-				}
-				if err := store.RecordOrdered(c, prefs.Item(pa), prefs.Item(pb),
-					provOf(siteAB), provOf(siteBA)); err != nil {
-					return nil, err
-				}
+			pairs = append(pairs, pair{pa, pb})
+			configs = append(configs, []int{sa, sb}, []int{sb, sa})
+		}
+	}
+	results := d.RunConfigurations(configs)
+	for k, pr := range pairs {
+		winAB, winBA := results[2*k], results[2*k+1]
+		for _, c := range sortedClients(winAB) {
+			siteAB := winAB[c]
+			siteBA, ok := winBA[c]
+			if !ok {
+				continue // lost probes in one experiment: skip client
+			}
+			provOf := func(siteID int) prefs.Item {
+				return prefs.Item(d.TB.Site(siteID).Transit)
+			}
+			if err := store.RecordOrdered(c, prefs.Item(pr.a), prefs.Item(pr.b),
+				provOf(siteAB), provOf(siteBA)); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -385,18 +537,22 @@ func (d *Discovery) ProviderPrefsNaive(reps map[topology.ASN]int) (*prefs.Store,
 	if err != nil {
 		return nil, err
 	}
+	type pair struct{ a, b topology.ASN }
+	var pairs []pair
+	var sitePairs [][2]int
 	for a := 0; a < len(providers); a++ {
 		for b := a + 1; b < len(providers); b++ {
 			pa, pb := providers[a], providers[b]
-			d.Experiments++
-			sim := d.freshSim()
-			dep := d.TB.NewDeployment(sim, 0)
-			dep.AnnounceSitesSimultaneously(reps[pa], reps[pb])
-			for c, siteID := range d.catchments(sim, d.prober(sim)) {
-				winner := prefs.Item(d.TB.Site(siteID).Transit)
-				if err := store.RecordSimultaneous(c, prefs.Item(pa), prefs.Item(pb), winner); err != nil {
-					return nil, err
-				}
+			pairs = append(pairs, pair{pa, pb})
+			sitePairs = append(sitePairs, [2]int{reps[pa], reps[pb]})
+		}
+	}
+	results := d.runSimultaneousPairs(sitePairs)
+	for k, pr := range pairs {
+		for _, c := range sortedClients(results[k]) {
+			winner := prefs.Item(d.TB.Site(results[k][c]).Transit)
+			if err := store.RecordSimultaneous(c, prefs.Item(pr.a), prefs.Item(pr.b), winner); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -421,17 +577,18 @@ func (d *Discovery) SitePrefs(provider topology.ASN) (*prefs.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sitePairs [][2]int
 	for a := 0; a < len(sites); a++ {
 		for b := a + 1; b < len(sites); b++ {
-			d.Experiments++
-			sim := d.freshSim()
-			dep := d.TB.NewDeployment(sim, 0)
-			dep.AnnounceSitesSimultaneously(sites[a].ID, sites[b].ID)
-			for c, siteID := range d.catchments(sim, d.prober(sim)) {
-				if err := store.RecordSimultaneous(c,
-					prefs.Item(sites[a].ID), prefs.Item(sites[b].ID), prefs.Item(siteID)); err != nil {
-					return nil, err
-				}
+			sitePairs = append(sitePairs, [2]int{sites[a].ID, sites[b].ID})
+		}
+	}
+	results := d.runSimultaneousPairs(sitePairs)
+	for k, sp := range sitePairs {
+		for _, c := range sortedClients(results[k]) {
+			if err := store.RecordSimultaneous(c,
+				prefs.Item(sp[0]), prefs.Item(sp[1]), prefs.Item(results[k][c])); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -450,17 +607,18 @@ func (d *Discovery) NaiveSitePrefs(siteIDs []int) (*prefs.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sitePairs [][2]int
 	for a := 0; a < len(siteIDs); a++ {
 		for b := a + 1; b < len(siteIDs); b++ {
-			d.Experiments++
-			sim := d.freshSim()
-			dep := d.TB.NewDeployment(sim, 0)
-			dep.AnnounceSitesSimultaneously(siteIDs[a], siteIDs[b])
-			for c, siteID := range d.catchments(sim, d.prober(sim)) {
-				if err := store.RecordSimultaneous(c,
-					prefs.Item(siteIDs[a]), prefs.Item(siteIDs[b]), prefs.Item(siteID)); err != nil {
-					return nil, err
-				}
+			sitePairs = append(sitePairs, [2]int{siteIDs[a], siteIDs[b]})
+		}
+	}
+	results := d.runSimultaneousPairs(sitePairs)
+	for k, sp := range sitePairs {
+		for _, c := range sortedClients(results[k]) {
+			if err := store.RecordSimultaneous(c,
+				prefs.Item(sp[0]), prefs.Item(sp[1]), prefs.Item(results[k][c])); err != nil {
+				return nil, err
 			}
 		}
 	}

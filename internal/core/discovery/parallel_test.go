@@ -1,0 +1,129 @@
+package discovery
+
+import (
+	"reflect"
+	"testing"
+
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/topology"
+)
+
+// campaignResult captures everything a full discovery campaign produces, in
+// comparable form.
+type campaignResult struct {
+	RTTs        map[int]map[prefs.Client]int64
+	Provider    []prefs.DumpedRelation
+	Sites       map[topology.ASN][]prefs.DumpedRelation
+	Naive       []prefs.DumpedRelation
+	Experiments int
+	Slots       int
+	Probes      uint64
+}
+
+// runCampaign executes the full measurement campaign — singleton RTTs
+// (serial and parallel-prefix), order-controlled provider preferences,
+// site-level preferences for every multi-site provider, and the naive
+// baseline — with the given worker count.
+func runCampaign(t *testing.T, workers int) campaignResult {
+	t.Helper()
+	tb := newTB(t)
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	d := New(tb, cfg)
+
+	allSites := make([]int, len(tb.Sites))
+	for i, s := range tb.Sites {
+		allSites[i] = s.ID
+	}
+	tbl, err := d.MeasureRTTsParallel(allSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := d.Representatives()
+	provider, err := d.ProviderPrefs(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := make(map[topology.ASN][]prefs.DumpedRelation)
+	for _, p := range tb.TransitProviders() {
+		if len(tb.SitesOfTransit(p)) < 2 {
+			continue
+		}
+		st, err := d.SitePrefs(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[p] = st.Dump()
+	}
+	naive, err := d.ProviderPrefsNaive(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaignResult{
+		RTTs:        tbl.Export(),
+		Provider:    provider.Dump(),
+		Sites:       sites,
+		Naive:       naive.Dump(),
+		Experiments: d.Experiments,
+		Slots:       d.Slots,
+		Probes:      d.ProbesSent,
+	}
+}
+
+// TestParallelCampaignDeterminism is the executor's core guarantee: a full
+// discovery campaign must produce byte-identical preference stores, RTT
+// tables, and counters no matter how many workers run it. Nonces are
+// assigned at submission time, so scheduling cannot leak into results.
+func TestParallelCampaignDeterminism(t *testing.T) {
+	serial := runCampaign(t, 1)
+	if serial.Experiments == 0 || serial.Probes == 0 {
+		t.Fatalf("campaign ran no experiments (exps=%d probes=%d)", serial.Experiments, serial.Probes)
+	}
+	for _, workers := range []int{2, 4} {
+		parallel := runCampaign(t, workers)
+		if !reflect.DeepEqual(serial, parallel) {
+			if !reflect.DeepEqual(serial.RTTs, parallel.RTTs) {
+				t.Errorf("workers=%d: RTT tables differ", workers)
+			}
+			if !reflect.DeepEqual(serial.Provider, parallel.Provider) {
+				t.Errorf("workers=%d: provider preference stores differ", workers)
+			}
+			if !reflect.DeepEqual(serial.Sites, parallel.Sites) {
+				t.Errorf("workers=%d: site preference stores differ", workers)
+			}
+			if !reflect.DeepEqual(serial.Naive, parallel.Naive) {
+				t.Errorf("workers=%d: naive preference stores differ", workers)
+			}
+			if serial.Experiments != parallel.Experiments || serial.Slots != parallel.Slots || serial.Probes != parallel.Probes {
+				t.Errorf("workers=%d: counters differ: serial exps=%d slots=%d probes=%d, parallel exps=%d slots=%d probes=%d",
+					workers, serial.Experiments, serial.Slots, serial.Probes,
+					parallel.Experiments, parallel.Slots, parallel.Probes)
+			}
+			t.Fatalf("workers=%d: parallel campaign diverged from serial", workers)
+		}
+	}
+}
+
+// TestBatchedDriversMatchSingleCalls pins the batch APIs to their serial
+// single-call equivalents: two fresh campaigns with the same seeds, one
+// using RunConfiguration twice, one using RunConfigurations once, must agree
+// on results and nonce consumption.
+func TestBatchedDriversMatchSingleCalls(t *testing.T) {
+	cfgA := []int{1, 6}
+	cfgB := []int{6, 1}
+
+	one := New(newTB(t), DefaultConfig())
+	r1 := one.RunConfiguration(cfgA)
+	r2 := one.RunConfiguration(cfgB)
+
+	two := New(newTB(t), DefaultConfig())
+	batch := two.RunConfigurations([][]int{cfgA, cfgB})
+
+	if !reflect.DeepEqual(r1, batch[0]) || !reflect.DeepEqual(r2, batch[1]) {
+		t.Fatal("RunConfigurations diverged from sequential RunConfiguration calls")
+	}
+	if one.Experiments != two.Experiments || one.ProbesSent != two.ProbesSent {
+		t.Fatalf("counters diverged: single exps=%d probes=%d, batch exps=%d probes=%d",
+			one.Experiments, one.ProbesSent, two.Experiments, two.ProbesSent)
+	}
+}

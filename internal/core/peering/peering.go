@@ -102,12 +102,24 @@ func OnePass(d *discovery.Discovery, baseConfig []int, peers []topology.LinkID) 
 		BaselineRTTs: baseRTTs,
 	}
 
+	// One experiment per peering link, all independent: filter out links with
+	// no hosting site, then submit the whole sweep as a single batch so it
+	// spreads across the discovery executor.
+	var valid []topology.LinkID
 	for _, pl := range peers {
-		site := d.TB.SiteByLink(pl)
-		if site == nil {
-			continue
+		if d.TB.SiteByLink(pl) != nil {
+			valid = append(valid, pl)
 		}
-		obs := d.RunConfigurationWithPeers(baseConfig, []topology.LinkID{pl})
+	}
+	deps := make([]discovery.PeerDeployment, len(valid))
+	for i, pl := range valid {
+		deps[i] = discovery.PeerDeployment{Sites: baseConfig, Peers: []topology.LinkID{pl}}
+	}
+	allObs := d.RunConfigurationsWithPeers(deps)
+
+	for i, pl := range valid {
+		site := d.TB.SiteByLink(pl)
+		obs := allObs[i]
 		rep := PeerReport{
 			Link:      pl,
 			SiteID:    site.ID,

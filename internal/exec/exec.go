@@ -1,0 +1,128 @@
+// Package exec is the parallel experiment executor: a worker pool that fans
+// independent jobs across OS threads while keeping results byte-identical to
+// a serial run.
+//
+// AnyOpt's measurement campaign is hundreds of BGP experiments — singleton
+// announcements, order-controlled pairwise runs, deployment verifications —
+// and every one of them is independent by construction: each runs on its own
+// bgp.Sim with its own jitter nonce, exactly as the real campaign isolates
+// experiments on separate test prefixes hours apart (§4.5). The executor
+// exploits that independence the way the paper exploits parallel prefixes:
+// all inputs (nonces, noise seeds) are assigned deterministically at
+// submission time, before any work is scheduled, so the outcome of a job
+// cannot depend on which worker runs it or in what order jobs finish.
+//
+// The pool is deliberately minimal: no job queue outliving a call, no shared
+// state between jobs, and a strictly serial fallback when one worker (or one
+// job) makes goroutines pointless — the serial path runs the exact same code
+// with zero scheduling overhead.
+package exec
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkersEnv names the environment variable that overrides the default
+// worker count for every pool created with workers <= 0.
+const WorkersEnv = "ANYOPT_WORKERS"
+
+// DefaultWorkers returns the executor's default parallelism: ANYOPT_WORKERS
+// when set to a positive integer, otherwise GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool fans independent jobs across a fixed number of workers.
+type Pool struct {
+	workers int
+}
+
+// New creates a pool with the given worker count; workers <= 0 selects
+// DefaultWorkers.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n) and returns when all calls have
+// completed. Calls must be mutually independent and may only write to
+// index-distinct locations; under those rules the result is identical to the
+// serial loop `for i := 0; i < n; i++ { fn(i) }`.
+//
+// With one worker (or one job) fn runs inline on the caller's goroutine.
+// Otherwise min(workers, n) goroutines pull indices from a shared atomic
+// counter; a panic in any call is re-raised on the caller after the
+// remaining workers drain.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicVal == nil {
+							panicVal = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and collects the
+// results in index order — the gather form of ForEach.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -84,39 +84,68 @@ func (e *Env) Fig5(numConfigs int, churnFrac float64) (Fig5Result, error) {
 		numConfigs = 38
 	}
 	rng := rand.New(rand.NewSource(e.Seed*31 + 7))
-	var res Fig5Result
+
+	// Draw configurations and predictions up front; only rng state and the
+	// (read-only until churn) discovery state feed them.
+	cfgs := make([]anyopt.Config, numConfigs)
+	predCatch := make([]map[anyopt.Client]int, numConfigs)
+	predMeans := make([]time.Duration, numConfigs)
 	for i := 0; i < numConfigs; i++ {
 		size := 1 + rng.Intn(14)
-		cfg := drawConfig(e.Sys, rng, size)
+		cfgs[i] = drawConfig(e.Sys, rng, size)
+		predicted, err := e.Sys.PredictCatchments(cfgs[i])
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		predMean, _, err := e.Sys.PredictMeanRTT(cfgs[i])
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		predCatch[i] = predicted
+		predMeans[i] = predMean
+	}
 
-		predicted, err := e.Sys.PredictCatchments(cfg)
-		if err != nil {
-			return Fig5Result{}, err
-		}
-		predMean, _, err := e.Sys.PredictMeanRTT(cfg)
-		if err != nil {
-			return Fig5Result{}, err
-		}
-		if churnFrac > 0 {
+	// Deploy and measure. With churn the topology mutates between
+	// measurements — experiments are no longer independent, so they run
+	// strictly in sequence; without churn the whole sweep batches across the
+	// executor.
+	measuredAll := make([]discoveryResult, numConfigs)
+	if churnFrac > 0 {
+		for i := 0; i < numConfigs; i++ {
 			topology.Churn(e.Sys.Topo, churnFrac, e.Seed*1000+int64(i))
+			catch, rtts := e.Sys.MeasureConfiguration(cfgs[i])
+			measuredAll[i] = discoveryResult{catch, rtts}
 		}
-		measured, rtts := e.Sys.MeasureConfiguration(cfg)
-		acc, n := predict.Accuracy(predicted, measured)
-		measMean, _ := predict.MeasuredMeanRTT(rtts)
+	} else {
+		for i, r := range e.Sys.MeasureConfigurations(cfgs) {
+			measuredAll[i] = discoveryResult{r.Catchments, r.RTTs}
+		}
+	}
 
-		absErr := predMean - measMean
+	var res Fig5Result
+	for i := 0; i < numConfigs; i++ {
+		acc, n := predict.Accuracy(predCatch[i], measuredAll[i].catch)
+		measMean, _ := predict.MeasuredMeanRTT(measuredAll[i].rtts)
+
+		absErr := predMeans[i] - measMean
 		if absErr < 0 {
 			absErr = -absErr
 		}
 		res.Configs = append(res.Configs, Fig5Config{
-			Config:        cfg,
+			Config:        cfgs[i],
 			Accuracy:      acc,
 			Comparable:    n,
-			PredictedMean: predMean,
+			PredictedMean: predMeans[i],
 			MeasuredMean:  measMean,
 			AbsErr:        absErr,
-			RelErr:        analysis.RelErr(float64(predMean), float64(measMean)),
+			RelErr:        analysis.RelErr(float64(predMeans[i]), float64(measMean)),
 		})
 	}
 	return res, nil
+}
+
+// discoveryResult pairs one deployment's measured catchments and RTTs.
+type discoveryResult struct {
+	catch map[anyopt.Client]int
+	rtts  map[anyopt.Client]time.Duration
 }
