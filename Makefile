@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet lint fmt race invariants bench check
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,31 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs anyoptlint (internal/lint), the repo's own determinism analyzer,
+# over the default build and again with the invariants hooks compiled in.
+lint:
+	$(GO) run ./cmd/anyoptlint ./...
+	$(GO) run ./cmd/anyoptlint -tags invariants ./...
+
+# fmt fails if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # race exercises the parallel experiment executor under the race detector;
 # the determinism tests run campaigns at several worker counts.
 race:
 	$(GO) test -race ./...
 
+# invariants runs the BGP suite with the runtime invariant checker compiled
+# in: Gao-Rexford export audits, best-route re-verification, and the
+# arrival-order tie log, including a full discovery campaign.
+invariants:
+	$(GO) test -tags=invariants ./internal/bgp/...
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# check is the CI gate: static analysis, the full suite, and the race pass.
-check: vet test race
+# check is the CI gate: formatting, static analysis, the full suite, the
+# race pass, and the invariant-audited BGP suite.
+check: fmt vet lint test race invariants

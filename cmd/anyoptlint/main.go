@@ -1,0 +1,53 @@
+// Command anyoptlint enforces the repository's determinism and concurrency
+// invariants: order-insensitive map iteration, seeded-entropy-only simulator
+// packages, no copied sync primitives, and no goroutines outside the worker
+// pool. See internal/lint for the checks and policy table.
+//
+// Usage:
+//
+//	anyoptlint [-tags taglist] [packages]
+//
+// With no packages it lints ./... from the current module. The exit status
+// is 1 when any diagnostic is produced, so `make lint` and CI fail on new
+// violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anyopt/internal/lint"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags (e.g. invariants)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: anyoptlint [-tags taglist] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader(".")
+	if *tags != "" {
+		loader.BuildTags = strings.Split(*tags, ",")
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anyoptlint:", err)
+		os.Exit(2)
+	}
+	diags := (&lint.Runner{}).Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "anyoptlint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -74,7 +74,13 @@ func main() {
 	}
 	rolls := map[int]*roll{}
 	var overall []float64
-	for c, o := range obs {
+	clients := make([]prefs.Client, 0, len(obs))
+	for c := range obs {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, c := range clients {
+		o := obs[c]
 		r := rolls[o.Site]
 		if r == nil {
 			r = &roll{regions: map[string]int{}}

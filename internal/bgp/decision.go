@@ -47,6 +47,7 @@ func (s *Sim) selectBest(a topology.ASN, rib *ribState) (*route, []*route) {
 	// The working slice lives on the Sim and is reused across decisions; only
 	// the candidate set (stored in the RIB) gets its own allocation.
 	routes := s.routeScratch[:0]
+	//lint:orderinvariant candidates are insertion-sorted by link ID just below
 	for _, r := range rib.in {
 		routes = append(routes, r)
 	}
@@ -101,7 +102,12 @@ func (s *Sim) better(x, y *route) bool {
 		return x.interiorCost < y.interiorCost
 	}
 	if s.Cfg.ArrivalOrderTieBreak && x.arrival != y.arrival {
-		return x.arrival < y.arrival
+		if x.arrival < y.arrival {
+			s.invRecordTie(x, y)
+			return true
+		}
+		s.invRecordTie(y, x)
+		return false
 	}
 	if x.neighborRouterID != y.neighborRouterID {
 		return x.neighborRouterID < y.neighborRouterID

@@ -1,0 +1,193 @@
+// Package invariant is the runtime auditor behind the -tags=invariants
+// build: while the BGP simulator runs, it re-derives the properties the
+// paper's predictions rest on and records every divergence.
+//
+// Three properties are audited:
+//
+//   - Gao-Rexford export compliance: every propagated route must either have
+//     been learned from a customer or be headed to a customer. CheckExport is
+//     an independent restatement of the simulator's export policy, so drift
+//     between the two is a recorded violation rather than silent agreement.
+//   - Best-route consistency: after every decision, the selected best must
+//     beat every other Adj-RIB-In entry under Better, an independent
+//     restatement of the decision order in (*bgp.Sim).better.
+//   - Arrival-order ties: every decision resolved by the optional
+//     oldest-route tie-breaker is logged with both candidates, because those
+//     are exactly the decisions where event scheduling could leak into
+//     results.
+//
+// The package has no build tag itself — it is ordinary, always-compilable
+// library code with its own unit tests. Only the hooks in package bgp that
+// call into it are gated, so the default build pays nothing.
+//
+// Checkers are safe for concurrent use: the parallel campaign executor runs
+// many independent Sims at once, all reporting to Default.
+package invariant
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anyopt/internal/topology"
+)
+
+// Route is an exported snapshot of one Adj-RIB-In entry, carrying exactly
+// the attributes the decision process compares.
+type Route struct {
+	LinkID           topology.LinkID
+	FirstHop         topology.ASN // advertising neighbor (path head); 0 if the path is empty
+	LocalPref        int
+	PathLen          int
+	MED              int
+	InteriorCost     int
+	Arrival          time.Duration
+	NeighborRouterID uint32
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	Kind   string // "gao-rexford" or "best-route"
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// Tie is one decision resolved by the arrival-order tie-breaker, with both
+// candidates that reached that step.
+type Tie struct {
+	Winner, Loser Route
+}
+
+// maxRetainedTies bounds the tie log's memory; TieCount keeps counting past
+// it.
+const maxRetainedTies = 10000
+
+// Checker accumulates violations and the tie log.
+type Checker struct {
+	mu         sync.Mutex
+	violations []Violation
+	ties       []Tie
+	tieCount   uint64
+}
+
+// Default is the process-wide checker the -tags=invariants hooks report to.
+var Default = NewChecker()
+
+// NewChecker returns an empty checker.
+func NewChecker() *Checker { return &Checker{} }
+
+// Reset discards all recorded violations and ties.
+func (c *Checker) Reset() {
+	c.mu.Lock()
+	c.violations = nil
+	c.ties = nil
+	c.tieCount = 0
+	c.mu.Unlock()
+}
+
+func (c *Checker) violate(kind, format string, args ...any) {
+	c.mu.Lock()
+	c.violations = append(c.violations, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	c.mu.Unlock()
+}
+
+// CheckExport audits one propagation: a route learned from the learnedFrom
+// role about to be advertised to the to role by AS as.
+func (c *Checker) CheckExport(as topology.ASN, learnedFrom, to topology.NeighborRole) {
+	if learnedFrom == topology.RoleCustomer || to == topology.RoleCustomer {
+		return
+	}
+	c.violate("gao-rexford", "AS %d exported a route learned from a %s to a %s", as, learnedFrom, to)
+}
+
+// CheckBest audits one decision at AS as: best (nil when the RIB selected
+// nothing) must be present in routes and beat every other entry under
+// Better. routes must hold the full Adj-RIB-In, one entry per link.
+func (c *Checker) CheckBest(as topology.ASN, best *Route, routes []Route, arrivalTieBreak bool) {
+	if best == nil {
+		if len(routes) > 0 {
+			c.violate("best-route", "AS %d selected no best route from a non-empty Adj-RIB-In (%d entries)", as, len(routes))
+		}
+		return
+	}
+	seen := false
+	for _, r := range routes {
+		if r.LinkID == best.LinkID {
+			seen = true
+			continue
+		}
+		if !Better(*best, r, arrivalTieBreak) {
+			c.violate("best-route", "AS %d selected the route over link %d as best, but the route over link %d beats it",
+				as, best.LinkID, r.LinkID)
+		}
+	}
+	if !seen {
+		c.violate("best-route", "AS %d selected a best route (link %d) that is not in its Adj-RIB-In", as, best.LinkID)
+	}
+}
+
+// RecordTie logs one decision resolved by arrival order.
+func (c *Checker) RecordTie(winner, loser Route) {
+	c.mu.Lock()
+	c.tieCount++
+	if len(c.ties) < maxRetainedTies {
+		c.ties = append(c.ties, Tie{Winner: winner, Loser: loser})
+	}
+	c.mu.Unlock()
+}
+
+// Violations returns a copy of the recorded violations.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Ties returns a copy of the retained tie log (capped; see TieCount for the
+// true total).
+func (c *Checker) Ties() []Tie {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Tie, len(c.ties))
+	copy(out, c.ties)
+	return out
+}
+
+// TieCount returns how many arrival-order ties were recorded, including any
+// past the retention cap.
+func (c *Checker) TieCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tieCount
+}
+
+// Better is an independent restatement of the BGP decision order implemented
+// by (*bgp.Sim).better: higher LOCAL_PREF, then shorter AS path, then lower
+// MED among routes from the same neighboring AS, then lower interior cost,
+// then (optionally) earlier arrival, then lower neighbor router ID, then
+// lower link ID. It must NOT be refactored to share code with the simulator;
+// the duplication is the point.
+func Better(x, y Route, arrivalTieBreak bool) bool {
+	if x.LocalPref != y.LocalPref {
+		return x.LocalPref > y.LocalPref
+	}
+	if x.PathLen != y.PathLen {
+		return x.PathLen < y.PathLen
+	}
+	if x.PathLen > 0 && y.PathLen > 0 && x.FirstHop == y.FirstHop && x.MED != y.MED {
+		return x.MED < y.MED
+	}
+	if x.InteriorCost != y.InteriorCost {
+		return x.InteriorCost < y.InteriorCost
+	}
+	if arrivalTieBreak && x.Arrival != y.Arrival {
+		return x.Arrival < y.Arrival
+	}
+	if x.NeighborRouterID != y.NeighborRouterID {
+		return x.NeighborRouterID < y.NeighborRouterID
+	}
+	return x.LinkID < y.LinkID
+}

@@ -1,0 +1,142 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"anyopt/internal/topology"
+)
+
+func TestCheckExport(t *testing.T) {
+	roles := []topology.NeighborRole{topology.RoleCustomer, topology.RolePeer, topology.RoleProvider}
+	for _, from := range roles {
+		for _, to := range roles {
+			c := NewChecker()
+			c.CheckExport(7, from, to)
+			wantOK := from == topology.RoleCustomer || to == topology.RoleCustomer
+			if gotOK := len(c.Violations()) == 0; gotOK != wantOK {
+				t.Errorf("CheckExport(from=%s, to=%s): violation recorded=%v, want %v", from, to, !gotOK, !wantOK)
+			}
+		}
+	}
+}
+
+// mkRoute builds a route distinguished only by link ID unless modified.
+func mkRoute(link topology.LinkID, mod func(*Route)) Route {
+	r := Route{LinkID: link, FirstHop: 100, LocalPref: 200, PathLen: 3, InteriorCost: 5, Arrival: 10, NeighborRouterID: uint32(link)}
+	if mod != nil {
+		mod(&r)
+	}
+	return r
+}
+
+func TestCheckBestAcceptsTrueBest(t *testing.T) {
+	c := NewChecker()
+	best := mkRoute(1, func(r *Route) { r.LocalPref = 300 })
+	routes := []Route{best, mkRoute(2, nil), mkRoute(3, nil)}
+	c.CheckBest(7, &best, routes, true)
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCheckBestRejectsWorseSelection(t *testing.T) {
+	c := NewChecker()
+	worse := mkRoute(2, nil)
+	routes := []Route{mkRoute(1, func(r *Route) { r.LocalPref = 300 }), worse}
+	c.CheckBest(7, &worse, routes, true)
+	v := c.Violations()
+	if len(v) != 1 || v[0].Kind != "best-route" {
+		t.Fatalf("want one best-route violation, got %v", v)
+	}
+}
+
+func TestCheckBestRejectsNilWithCandidates(t *testing.T) {
+	c := NewChecker()
+	c.CheckBest(7, nil, []Route{mkRoute(1, nil)}, false)
+	v := c.Violations()
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "non-empty") {
+		t.Fatalf("want a non-empty-RIB violation, got %v", v)
+	}
+	c.Reset()
+	c.CheckBest(7, nil, nil, false)
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("nil best over empty RIB should be fine, got %v", v)
+	}
+}
+
+func TestCheckBestRejectsForeignRoute(t *testing.T) {
+	c := NewChecker()
+	foreign := mkRoute(9, func(r *Route) { r.LocalPref = 400 })
+	c.CheckBest(7, &foreign, []Route{mkRoute(1, nil)}, false)
+	v := c.Violations()
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "not in its Adj-RIB-In") {
+		t.Fatalf("want a missing-from-RIB violation, got %v", v)
+	}
+}
+
+// TestBetterDecisionOrder pins each step of the independent decision-order
+// restatement, in order of precedence.
+func TestBetterDecisionOrder(t *testing.T) {
+	base := mkRoute(1, nil)
+	cases := []struct {
+		name string
+		mod  func(*Route) // applied to the winner
+	}{
+		{"local pref", func(r *Route) { r.LocalPref++ }},
+		{"path length", func(r *Route) { r.PathLen-- }},
+		{"med same neighbor", func(r *Route) { r.MED-- }},
+		{"interior cost", func(r *Route) { r.InteriorCost-- }},
+		{"arrival", func(r *Route) { r.Arrival-- }},
+		{"router id", func(r *Route) { r.NeighborRouterID-- }},
+		{"link id", func(r *Route) { r.LinkID-- }},
+	}
+	for _, tc := range cases {
+		winner := base
+		tc.mod(&winner)
+		if !Better(winner, base, true) {
+			t.Errorf("%s: winner should beat base", tc.name)
+		}
+		if Better(base, winner, true) {
+			t.Errorf("%s: base should lose to winner", tc.name)
+		}
+	}
+}
+
+func TestBetterSkipsDisabledArrival(t *testing.T) {
+	x := mkRoute(2, func(r *Route) { r.Arrival = 1 })
+	y := mkRoute(1, func(r *Route) { r.Arrival = 2 })
+	if !Better(x, y, true) {
+		t.Error("with arrival tie-break, earlier arrival should win")
+	}
+	if Better(x, y, false) {
+		t.Error("without arrival tie-break, lower link ID should win instead")
+	}
+}
+
+func TestBetterMEDOnlySameNeighbor(t *testing.T) {
+	x := mkRoute(2, func(r *Route) { r.MED = 0; r.FirstHop = 100 })
+	y := mkRoute(1, func(r *Route) { r.MED = 9; r.FirstHop = 101 })
+	// Different neighbors: MED must be ignored, so the lower link ID wins.
+	if Better(x, y, false) {
+		t.Error("MED compared across different neighboring ASes")
+	}
+}
+
+func TestTieLogAndReset(t *testing.T) {
+	c := NewChecker()
+	w, l := mkRoute(1, nil), mkRoute(2, nil)
+	c.RecordTie(w, l)
+	c.RecordTie(w, l)
+	if got := c.TieCount(); got != 2 {
+		t.Fatalf("TieCount = %d, want 2", got)
+	}
+	ties := c.Ties()
+	if len(ties) != 2 || ties[0].Winner != w || ties[0].Loser != l {
+		t.Fatalf("bad tie log: %v", ties)
+	}
+	c.Reset()
+	if c.TieCount() != 0 || len(c.Ties()) != 0 || len(c.Violations()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}

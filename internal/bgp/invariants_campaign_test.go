@@ -1,0 +1,74 @@
+//go:build invariants
+
+package bgp_test
+
+import (
+	"testing"
+
+	"anyopt/internal/bgp/invariant"
+	"anyopt/internal/core/discovery"
+	"anyopt/internal/testbed"
+	"anyopt/internal/topology"
+)
+
+// TestCampaignUnderInvariants runs the full discovery campaign — parallel
+// RTT measurement, order-controlled provider preferences, site-level
+// preferences, and the naive baseline — with the runtime invariant hooks
+// live, and requires that every BGP decision and every exported route along
+// the way satisfied the audited properties.
+func TestCampaignUnderInvariants(t *testing.T) {
+	invariant.Default.Reset()
+
+	topo, err := topology.Generate(topology.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := testbed.New(topo, testbed.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := discovery.DefaultConfig()
+	cfg.Workers = 4
+	d := discovery.New(tb, cfg)
+
+	allSites := make([]int, len(tb.Sites))
+	for i, s := range tb.Sites {
+		allSites[i] = s.ID
+	}
+	if _, err := d.MeasureRTTsParallel(allSites); err != nil {
+		t.Fatal(err)
+	}
+	reps := d.Representatives()
+	if _, err := d.ProviderPrefs(reps); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tb.TransitProviders() {
+		if len(tb.SitesOfTransit(p)) < 2 {
+			continue
+		}
+		if _, err := d.SitePrefs(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.ProviderPrefsNaive(reps); err != nil {
+		t.Fatal(err)
+	}
+	if d.Experiments == 0 || d.ProbesSent == 0 {
+		t.Fatalf("campaign ran no experiments (exps=%d probes=%d)", d.Experiments, d.ProbesSent)
+	}
+
+	for _, v := range invariant.Default.Violations() {
+		t.Errorf("invariant violated: %s", v)
+	}
+	// The arrival-order tie-breaker is on by default; the campaign should
+	// exercise it, and every resolved tie must have been logged with both
+	// candidates.
+	ties := invariant.Default.Ties()
+	t.Logf("campaign: %d experiments, %d probes, %d arrival-order ties logged (%d retained)",
+		d.Experiments, d.ProbesSent, invariant.Default.TieCount(), len(ties))
+	for _, tie := range ties {
+		if tie.Winner.Arrival >= tie.Loser.Arrival {
+			t.Fatalf("logged tie has winner arriving at %v, not before loser at %v", tie.Winner.Arrival, tie.Loser.Arrival)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !invariants
+
+package bgp
+
+import "anyopt/internal/topology"
+
+// This file is the default half of the runtime invariant hooks: every hook
+// is an empty method the compiler inlines away, so the ordinary build pays
+// nothing. Build with -tags=invariants to swap in the real checks (see
+// invariants_on.go and internal/bgp/invariant).
+
+func (s *Sim) invCheckExport(a topology.ASN, learnedFrom, to topology.NeighborRole) {}
+
+func (s *Sim) invCheckBest(a topology.ASN, rib *ribState) {}
+
+func (s *Sim) invRecordTie(winner, loser *route) {}

@@ -415,6 +415,7 @@ func (s *Sim) importPref(as *topology.AS, l *topology.Link) int {
 func (s *Sim) runDecision(p PrefixID, ps *prefixState, a topology.ASN, rib *ribState) {
 	oldBest := rib.best
 	rib.best, rib.candidates = s.selectBest(a, rib)
+	s.invCheckBest(a, rib)
 
 	if routesEquivalentForExport(oldBest, rib.best) {
 		return
@@ -455,6 +456,7 @@ func (s *Sim) export(p PrefixID, ps *prefixState, a topology.ASN, rib *ribState,
 		}
 		switch {
 		case exportNew:
+			s.invCheckExport(a, newBest.link.RoleOf(a), nl.RoleOf(a))
 			s.deliver(p, nl, neighbor, newPath, 0)
 		case exportedOld:
 			// The neighbor previously heard a route from us but the new

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// fuzzSeeds marshals one valid message of every type so the fuzzer starts
+// from well-formed wire images rather than discovering the 16-byte marker by
+// chance.
+func fuzzSeeds(f *testing.F) {
+	seeds := []Message{
+		&Keepalive{},
+		&Open{Version: 4, AS: 65001, HoldTime: 90, RouterID: 0x0a000001},
+		&Open{Version: 4, AS: 23456, HoldTime: 0, RouterID: 1, OptParams: []byte{2, 0}},
+		&Notification{Code: 6, Subcode: 2, Data: []byte("shutdown")},
+		&Update{
+			Attrs: &PathAttrs{
+				Origin: OriginIGP,
+				ASPath: []ASPathSegment{
+					{Type: ASSequence, ASNs: []uint32{65001, 65002}},
+					{Type: ASSet, ASNs: []uint32{64512, 64513}},
+				},
+				NextHop:     netip.MustParseAddr("10.0.0.1"),
+				MED:         7,
+				HasMED:      true,
+				LocalPref:   200,
+				HasLocal:    true,
+				Communities: []uint32{0xFFFF0001},
+			},
+			NLRI: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+		},
+		&Update{Withdrawn: []netip.Prefix{
+			netip.MustParsePrefix("198.51.100.0/25"),
+			netip.MustParsePrefix("0.0.0.0/0"),
+		}},
+	}
+	for _, m := range seeds {
+		b, err := Marshal(m)
+		if err != nil {
+			f.Fatalf("marshaling seed %T: %v", m, err)
+		}
+		f.Add(b)
+	}
+	// A truncated header and a bad marker exercise the error paths.
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add(make([]byte, HeaderLen))
+}
+
+// FuzzUpdateDecode is the round-trip property for the wire codec: any input
+// Parse accepts must re-marshal, and the re-marshaled form must be a fixed
+// point — Parse(Marshal(m)) marshals to the identical bytes. This pins the
+// encoder to a canonical form and catches any parser state that cannot be
+// re-encoded.
+func FuzzUpdateDecode(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return // rejected inputs are out of scope; we only require no panic
+		}
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Parse accepted %x but Marshal rejected the result: %v", data, err)
+		}
+		m2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Marshal produced bytes Parse rejects: %v\ninput:  %x\noutput: %x", err, data, out)
+		}
+		out2, err := Marshal(m2)
+		if err != nil {
+			t.Fatalf("second Marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round-trip is not a fixed point:\nfirst:  %x\nsecond: %x", out, out2)
+		}
+	})
+}

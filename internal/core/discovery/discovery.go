@@ -339,6 +339,7 @@ func (t *RTTTable) Sites() []int {
 	for s := range t.bySite {
 		out = append(out, s)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -44,6 +44,7 @@ func DefaultWorkers() int {
 // Pool fans independent jobs across a fixed number of workers.
 type Pool struct {
 	workers int
+	closed  atomic.Bool
 }
 
 // New creates a pool with the given worker count; workers <= 0 selects
@@ -58,6 +59,12 @@ func New(workers int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// Close marks the pool as retired. It is idempotent and safe to call
+// concurrently; any later submission panics. The pool holds no goroutines or
+// queues between calls, so Close frees nothing — it exists to turn
+// use-after-retirement into a loud failure instead of silent extra work.
+func (p *Pool) Close() { p.closed.Store(true) }
+
 // ForEach runs fn(i) for every i in [0, n) and returns when all calls have
 // completed. Calls must be mutually independent and may only write to
 // index-distinct locations; under those rules the result is identical to the
@@ -68,6 +75,9 @@ func (p *Pool) Workers() int { return p.workers }
 // counter; a panic in any call is re-raised on the caller after the
 // remaining workers drain.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	if p.closed.Load() {
+		panic("exec: ForEach called on a closed Pool")
+	}
 	if n <= 0 {
 		return
 	}

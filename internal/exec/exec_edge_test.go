@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNegativeWorkersSelectsDefault(t *testing.T) {
+	t.Setenv(WorkersEnv, "")
+	os.Unsetenv(WorkersEnv)
+	if got := New(-5).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-5).Workers() = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	t.Setenv(WorkersEnv, "3")
+	if got := New(-1).Workers(); got != 3 {
+		t.Fatalf("New(-1).Workers() with %s=3 = %d, want 3", WorkersEnv, got)
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s on a closed pool did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestSubmitAfterClosePanics(t *testing.T) {
+	p := New(4)
+	p.ForEach(2, func(int) {})
+	p.Close()
+	p.Close() // idempotent
+	mustPanic(t, "ForEach", func() { p.ForEach(1, func(int) {}) })
+	mustPanic(t, "ForEach(0, ...)", func() { p.ForEach(0, func(int) {}) })
+	mustPanic(t, "Map", func() { Map(p, 1, func(i int) int { return i }) })
+	if p.Workers() != 4 {
+		t.Fatal("Close changed the worker count")
+	}
+}
+
+func TestConcurrentCloseIsSafe(t *testing.T) {
+	p := New(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+	mustPanic(t, "ForEach", func() { p.ForEach(1, func(int) {}) })
+}
+
+// TestForEachUnderContention drives far more jobs than workers through the
+// shared index counter with every job touching both a shared atomic and an
+// index-distinct slot. Run with -race (the Makefile's race target does) this
+// is the pool's data-race certificate: the only sharing is the counter.
+func TestForEachUnderContention(t *testing.T) {
+	const n = 20000
+	p := New(8)
+	var calls atomic.Int64
+	out := make([]int64, n)
+	p.ForEach(n, func(i int) {
+		calls.Add(1)
+		out[i] = int64(i) * 3
+	})
+	if got := calls.Load(); got != n {
+		t.Fatalf("fn ran %d times, want %d", got, n)
+	}
+	for i, v := range out {
+		if v != int64(i)*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, int64(i)*3)
+		}
+	}
+}

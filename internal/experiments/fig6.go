@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"anyopt"
@@ -114,9 +115,14 @@ func (e *Env) Fig6(k int) (Fig6Result, error) {
 	}
 	var res Fig6Result
 	for i, r := range sys.MeasureConfigurations(cfgs) {
-		ms := make([]float64, 0, len(r.RTTs))
-		for _, d := range r.RTTs {
-			ms = append(ms, float64(d)/float64(time.Millisecond))
+		clients := make([]prefs.Client, 0, len(r.RTTs))
+		for c := range r.RTTs {
+			clients = append(clients, c)
+		}
+		sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+		ms := make([]float64, 0, len(clients))
+		for _, c := range clients {
+			ms = append(ms, float64(r.RTTs[c])/float64(time.Millisecond))
 		}
 		res.Series = append(res.Series, Fig6Series{Name: series[i].name, Config: series[i].cfg, RTTsMs: ms})
 	}

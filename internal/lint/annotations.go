@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// orderInvariantDirective is the suppression annotation for the maporder
+// check. It must carry a reason:
+//
+//	//lint:orderinvariant result is a set; downstream consumers sort it
+//
+// placed on the line of the range statement or the line directly above it.
+const orderInvariantDirective = "lint:orderinvariant"
+
+// annotations records where suppression directives appear.
+type annotations struct {
+	// orderInvariant maps file name -> set of line numbers carrying a valid
+	// (reasoned) orderinvariant directive.
+	orderInvariant map[string]map[int]bool
+	// diags reports malformed directives (missing reason).
+	diags []Diagnostic
+}
+
+// collectAnnotations scans a package's comments for lint directives.
+func collectAnnotations(pkg *Package) *annotations {
+	ann := &annotations{orderInvariant: make(map[string]map[int]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, orderInvariantDirective) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, orderInvariantDirective))
+				pos := pkg.Fset.Position(c.Pos())
+				if reason == "" {
+					ann.diags = append(ann.diags, Diagnostic{
+						Pos:     pos,
+						Check:   "maporder",
+						Message: "//lint:orderinvariant requires a reason explaining why iteration order cannot affect results",
+					})
+					continue
+				}
+				lines := ann.orderInvariant[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					ann.orderInvariant[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return ann
+}
+
+// suppressed reports whether a node at pos is covered by an orderinvariant
+// directive on its own line or the line above.
+func (a *annotations) suppressed(fset *token.FileSet, node ast.Node) bool {
+	pos := fset.Position(node.Pos())
+	lines := a.orderInvariant[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line] || lines[pos.Line-1]
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkEntropy enforces the simulator's entropy contract: no wall-clock
+// reads and no global (unseeded) randomness. Simulator results must be a
+// pure function of explicit seeds — virtual time comes from the netsim
+// engine, and every random draw must flow through a seeded source the caller
+// constructed (rand.New(rand.NewSource(seed))) or the FNV-based hash mixers.
+func checkEntropy(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(n.Pos()),
+			Check:   "entropy",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pkg.Info.Uses[identOf(sel.X)].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			name := sel.Sel.Name
+			switch path {
+			case "time":
+				if bannedTimeFuncs[name] {
+					report(sel, "time.%s reads the wall clock; simulator time must come from the netsim engine", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandConstructors[name] {
+					report(sel, "%s.%s draws from the global rand source; thread a seeded *rand.Rand through instead", path, name)
+				}
+			case "crypto/rand":
+				report(sel, "crypto/rand is nondeterministic by design and has no place in the simulator")
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// bannedTimeFuncs are the package time functions that consult the wall clock
+// or real timers. Types (time.Duration) and pure conversions remain fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandConstructors are the math/rand (and v2) names that build a
+// source rather than draw from the global one. Everything else at package
+// level uses process-global state seeded outside the experiment's control.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 source constructors:
+	"NewPCG": true, "NewChaCha8": true,
+	// types referenced in declarations (e.g. *rand.Rand parameters):
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true, "PCG": true, "ChaCha8": true,
+}

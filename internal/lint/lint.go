@@ -1,0 +1,92 @@
+// Package lint is anyoptlint's analysis engine: a standard-library-only
+// static analyzer that enforces the repository's determinism and concurrency
+// invariants on the simulator packages.
+//
+// The paper's predictions rest on exactly reproducible BGP decision outcomes
+// — including the arrival-order tie-breaker — so properties the codebase
+// merely followed by convention are machine-checked here:
+//
+//   - maporder: no range over a map whose body writes to a slice, store,
+//     writer, or channel, unless the result is provably order-insensitive or
+//     the accumulated slice is sorted before use. Go randomizes map iteration
+//     order per run, so any such loop silently injects nondeterminism into
+//     campaign results. Suppressible with `//lint:orderinvariant <reason>`.
+//   - entropy: no wall-clock reads (time.Now and friends) and no global or
+//     unseeded math/rand in simulator packages; all entropy must flow from a
+//     seeded source parameter so experiments replay bit-identically.
+//   - copylocks: no sync.Mutex / sync.WaitGroup (or values containing one)
+//     copied by value anywhere in the module.
+//   - nogo: no `go` statement in simulator packages — concurrency is the
+//     exclusive business of internal/exec's worker pool, which guarantees
+//     scheduling cannot leak into results.
+//
+// Which checks apply to which package is driven by the policy table in
+// policy.go.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Check names the check that produced it (maporder, entropy, copylocks,
+	// nogo).
+	Check string
+	// Message describes the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Check)
+}
+
+// Runner applies a policy table to loaded packages.
+type Runner struct {
+	// Policies maps packages to enabled checks; nil selects DefaultPolicies.
+	Policies []PolicyRule
+}
+
+// Run analyzes pkgs and returns all diagnostics sorted by position.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	rules := r.Policies
+	if rules == nil {
+		rules = DefaultPolicies
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		p := PolicyFor(rules, pkg.Path)
+		ann := collectAnnotations(pkg)
+		diags = append(diags, ann.diags...)
+		if p.MapOrder {
+			diags = append(diags, checkMapOrder(pkg, ann)...)
+		}
+		if p.Entropy {
+			diags = append(diags, checkEntropy(pkg)...)
+		}
+		if p.CopyLocks {
+			diags = append(diags, checkCopyLocks(pkg)...)
+		}
+		if p.NoGo {
+			diags = append(diags, checkNoGo(pkg)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}

@@ -1,0 +1,75 @@
+package lint
+
+import "strings"
+
+// Policy selects which checks run on a package.
+type Policy struct {
+	MapOrder  bool // range-over-map order sensitivity
+	Entropy   bool // wall clock & global/unseeded rand bans
+	CopyLocks bool // sync primitives copied by value
+	NoGo      bool // go statements banned
+}
+
+// PolicyRule binds a package pattern to a policy. A pattern is either an
+// exact import path or a prefix ending in "/..." matching the package and
+// everything below it.
+type PolicyRule struct {
+	Pattern string
+	Policy  Policy
+}
+
+// baseline applies module-wide: map iteration order must never leak into
+// outputs, and sync primitives must never be copied. Goroutines and wall
+// clocks are fine outside the simulator.
+var baseline = Policy{MapOrder: true, CopyLocks: true}
+
+// sim is the full determinism contract for simulator packages: everything in
+// baseline, plus no entropy except through seeded sources, and no goroutines
+// — parallelism belongs exclusively to internal/exec.
+var sim = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoGo: true}
+
+// DefaultPolicies is the repository policy table. The most specific
+// (longest) matching pattern wins.
+var DefaultPolicies = []PolicyRule{
+	{"anyopt/...", baseline},
+
+	// Simulator packages: results must be a pure function of seeds.
+	{"anyopt/internal/bgp", sim},
+	{"anyopt/internal/bgp/wire", sim},
+	{"anyopt/internal/bgp/invariant", sim},
+	{"anyopt/internal/netsim", sim},
+	{"anyopt/internal/topology", sim},
+	{"anyopt/internal/core/...", sim},
+
+	// The real-network BGP speaker runs hold timers and read deadlines over
+	// TCP sessions; wall clock and goroutines are inherent to it. It still
+	// gets the baseline checks.
+	{"anyopt/internal/bgp/speaker", baseline},
+
+	// The worker pool is the one place goroutines are allowed; it is also
+	// outside the sim's entropy contract (it reads only worker counts).
+	{"anyopt/internal/exec", baseline},
+}
+
+// PolicyFor resolves the policy for an import path: the longest matching
+// pattern wins; packages matching no rule get no checks.
+func PolicyFor(rules []PolicyRule, path string) Policy {
+	var best string
+	var out Policy
+	for _, r := range rules {
+		if !patternMatches(r.Pattern, path) {
+			continue
+		}
+		if len(r.Pattern) > len(best) {
+			best, out = r.Pattern, r.Policy
+		}
+	}
+	return out
+}
+
+func patternMatches(pattern, path string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return path == pattern
+}

@@ -1,0 +1,15 @@
+// Package annot is an anyoptlint self-test fixture for the annotation
+// contract: a bare //lint:orderinvariant with no reason must be rejected and
+// must NOT suppress the finding it decorates. Expectations are asserted
+// directly in lint_test.go because a want-comment cannot share a line with
+// the directive under test.
+package annot
+
+func bareDirective(m map[int]int) []int {
+	var out []int
+	//lint:orderinvariant
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

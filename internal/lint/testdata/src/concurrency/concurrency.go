@@ -1,0 +1,59 @@
+// Package concurrency is an anyoptlint self-test fixture for the copylocks
+// and nogo checks: sync primitives must not be copied by value and simulator
+// packages must not spawn goroutines.
+package concurrency
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want "parameter passes .* by value"
+	return g.n
+}
+
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func returnsValue() guarded { // want "result passes .* by value"
+	return guarded{}
+}
+
+func deref(g *guarded) int {
+	cp := *g // want "assignment copies"
+	return cp.n
+}
+
+func construct() *guarded {
+	g := guarded{n: 1} // constructing a fresh value is not a copy
+	return &g
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies"
+		total += g.n
+	}
+	return total
+}
+
+func rangeByIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+func passes(g *guarded) int {
+	return byValue(*g) // want "call passes .* by value"
+}
+
+func spawn(fn func()) {
+	go fn() // want "go statement in a simulator package"
+}

@@ -1,0 +1,44 @@
+// Package entropy is an anyoptlint self-test fixture for the seeded-entropy
+// contract: wall-clock reads and global rand draws must be flagged, while
+// seeded sources and pure time arithmetic pass.
+package entropy
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+	t.Stop()
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global rand source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global rand source"
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func threaded(rng *rand.Rand, xs []float64) float64 {
+	return xs[rng.Intn(len(xs))]
+}
+
+func pureTime(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
