@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fmt race invariants bench check
+.PHONY: build test vet lint fmt race invariants chaos bench check
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,18 @@ race:
 invariants:
 	$(GO) test -tags=invariants ./internal/bgp/...
 
+# chaos runs the fault-injection suite: the differential test (a faulted
+# campaign must converge to the fault-free preference matrix modulo
+# quarantined sites), failure-trace determinism, and checkpoint/resume.
+chaos:
+	$(GO) test -run 'Chaos|FaultsDisabled|Checkpoint|SaveLoadQuarantine' \
+		./internal/core/discovery/ ./internal/campaign/
+	$(GO) test -race -run 'ForEachCtx|Retry|RunTimeout|Flush|SessionReset' \
+		./internal/exec/ ./internal/orchestrator/
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
 # check is the CI gate: formatting, static analysis, the full suite, the
-# race pass, and the invariant-audited BGP suite.
-check: fmt vet lint test race invariants
+# race pass, the invariant-audited BGP suite, and the chaos suite.
+check: fmt vet lint test race invariants chaos

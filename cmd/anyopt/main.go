@@ -11,6 +11,11 @@
 // Global flags (before the subcommand): -scale test|paper, -seed N,
 // -workers N (experiment parallelism; also via ANYOPT_WORKERS, default
 // GOMAXPROCS — worker count never changes results, only wall-clock).
+//
+// Chaos and recovery: -faults none|paper|harsh injects deterministic
+// transport faults into the campaign (seed from -fault-seed, default
+// ANYOPT_FAULT_SEED or 1); -checkpoint FILE journals completed experiments
+// so a killed discover run resumes where it left off.
 package main
 
 import (
@@ -29,11 +34,12 @@ import (
 	"anyopt/internal/campaign"
 	"anyopt/internal/core/predict"
 	"anyopt/internal/experiments"
+	"anyopt/internal/fault"
 	"anyopt/internal/topology"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: anyopt [-scale test|paper] [-seed N] [-workers N] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: anyopt [-scale test|paper] [-seed N] [-workers N] [-faults SCENARIO] <command> [args]
 
 commands:
   table1      print the testbed layout
@@ -54,6 +60,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "topology seed")
 	campaignFile := flag.String("campaign", "", "load discovery results from this snapshot instead of re-measuring")
 	workers := flag.Int("workers", 0, "experiment executor workers (0 = ANYOPT_WORKERS or GOMAXPROCS)")
+	faults := flag.String("faults", "none", "fault-injection scenario: none, paper, or harsh")
+	faultSeed := flag.Int64("fault-seed", fault.SeedFromEnv(), "fault injection seed (default $"+fault.SeedEnv+" or 1)")
+	checkpoint := flag.String("checkpoint", "", "journal completed experiments to this file; a rerun resumes from it")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -68,6 +77,21 @@ func main() {
 	sys := env.Sys
 	if *workers != 0 {
 		sys.Disc.SetWorkers(*workers)
+	}
+	faultCfg, err := fault.Scenario(*faults, *faultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Disc.Cfg.Faults = faultCfg
+	if *checkpoint != "" {
+		ck, err := campaign.NewCheckpoint(*checkpoint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := ck.Len(); n > 0 {
+			fmt.Printf("resuming: %d experiments already journaled in %s\n", n, *checkpoint)
+		}
+		sys.Disc.SetJournal(ck)
 	}
 	if *campaignFile != "" {
 		f, err := os.Open(*campaignFile)
@@ -93,6 +117,17 @@ func main() {
 		start := time.Now()
 		if err := env.Discover(); err != nil {
 			log.Fatal(err)
+		}
+		if err := sys.Disc.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if faultCfg.Enabled() {
+			fmt.Printf("faults: scenario %q seed %d, %d events logged\n",
+				*faults, *faultSeed, len(sys.Disc.FaultLog()))
+			quarantined := sys.Disc.Quarantined()
+			for _, id := range sys.Disc.QuarantinedSites() {
+				fmt.Printf("  quarantined site %d: %s\n", id, quarantined[id])
+			}
 		}
 		if *saveTo != "" {
 			f, err := os.Create(*saveTo)

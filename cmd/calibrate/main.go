@@ -20,6 +20,7 @@ import (
 
 	"anyopt/internal/analysis"
 	"anyopt/internal/core/discovery"
+	"anyopt/internal/fault"
 	"anyopt/internal/testbed"
 	"anyopt/internal/topology"
 )
@@ -28,10 +29,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
 	var (
-		scale   = flag.String("scale", "test", "topology scale: test or default")
-		seed    = flag.Int64("seed", 1, "topology seed")
-		fig4c   = flag.Bool("fig4c", false, "include the (slow) Figure 4c site-level sweep")
-		workers = flag.Int("workers", 0, "experiment executor workers (0 = ANYOPT_WORKERS or GOMAXPROCS)")
+		scale     = flag.String("scale", "test", "topology scale: test or default")
+		seed      = flag.Int64("seed", 1, "topology seed")
+		fig4c     = flag.Bool("fig4c", false, "include the (slow) Figure 4c site-level sweep")
+		workers   = flag.Int("workers", 0, "experiment executor workers (0 = ANYOPT_WORKERS or GOMAXPROCS)")
+		faults    = flag.String("faults", "none", "fault-injection scenario: none, paper, or harsh")
+		faultSeed = flag.Int64("fault-seed", fault.SeedFromEnv(), "fault injection seed (default $"+fault.SeedEnv+" or 1)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,10 @@ func main() {
 
 	dcfg := discovery.DefaultConfig()
 	dcfg.Workers = *workers
+	dcfg.Faults, err = fault.Scenario(*faults, *faultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	d := discovery.New(tb, dcfg)
 	reps := d.Representatives()
 
@@ -104,7 +111,18 @@ func main() {
 	bestOrder, frac := ordered.BestAnnouncementOrder(6)
 	fmt.Printf("  best announcement order %v → %.1f%%\n\n", bestOrder, 100*frac)
 
+	reportFaults := func() {
+		if err := d.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if dcfg.Faults.Enabled() {
+			fmt.Printf("faults: scenario %q seed %d, %d events logged, %d sites quarantined\n",
+				*faults, *faultSeed, len(d.FaultLog()), len(d.QuarantinedSites()))
+		}
+	}
+
 	if !*fig4c {
+		reportFaults()
 		fmt.Println("(run with -fig4c for the site-level sweep)")
 		os.Exit(0)
 	}
@@ -164,4 +182,5 @@ func main() {
 		}
 	}
 	fmt.Printf("  15 sites: two-level order-aware %.1f%%\n", 100*float64(twoLevelOK)/float64(len(clients)))
+	reportFaults()
 }

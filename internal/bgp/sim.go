@@ -61,6 +61,19 @@ type Config struct {
 	// arrival-order step. 0 disables the step entirely (all exits tie),
 	// maximizing arrival-order sensitivity.
 	InteriorCostBucketKm float64
+	// Chaos, when non-nil, is consulted on every update/withdrawal delivery
+	// and may drop it or add queueing delay — the fault-injection hook for
+	// internal/fault. The model must be deterministic for the simulation to
+	// stay reproducible; nil injects nothing.
+	Chaos ChaosModel
+}
+
+// ChaosModel decides the fate of individual update deliveries. The prefix is
+// passed as a plain int so fault deciders need not import this package.
+type ChaosModel interface {
+	// UpdateFate is called once per scheduled delivery; drop loses the
+	// message entirely, otherwise extra is added to its in-flight delay.
+	UpdateFate(link topology.LinkID, dst topology.ASN, prefix int) (drop bool, extra time.Duration)
 }
 
 // DefaultConfig matches deployed-router behavior.
@@ -328,6 +341,13 @@ func (s *Sim) deliver(p PrefixID, l *topology.Link, dst topology.ASN, path []top
 		return
 	}
 	delay := l.Delay + s.procDelay(dst, p)
+	if s.Cfg.Chaos != nil {
+		drop, extra := s.Cfg.Chaos.UpdateFate(l.ID, dst, int(p))
+		if drop {
+			return
+		}
+		delay += extra
+	}
 	s.Engine.After(delay, func() {
 		if s.failed[l.ID] {
 			return // the link went down while the update was in flight

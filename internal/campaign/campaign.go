@@ -44,6 +44,11 @@ type Snapshot struct {
 	SiteStores  map[topology.ASN]storeDump     `json:"site_stores,omitempty"`
 	RTT         map[int]map[prefs.Client]int64 `json:"rtt"`
 	Experiments int                            `json:"experiments"`
+
+	// Quarantined records sites the campaign pulled out after detecting
+	// them dead (site ID → reason); absent for fault-free campaigns. The
+	// field rides FormatVersion 1: older snapshots simply lack it.
+	Quarantined map[int]string `json:"quarantined,omitempty"`
 }
 
 func dumpStore(s *prefs.Store) storeDump {
@@ -75,6 +80,7 @@ func Save(w io.Writer, sys *anyopt.System) error {
 		Providers:       dumpStore(sys.Pred.Providers),
 		RTT:             sys.RTT.Export(),
 		Experiments:     sys.Disc.Experiments,
+		Quarantined:     sys.Disc.Quarantined(),
 	}
 	if len(sys.Pred.Sites) > 0 {
 		snap.SiteStores = make(map[topology.ASN]storeDump, len(sys.Pred.Sites))
@@ -125,5 +131,6 @@ func Load(r io.Reader, sys *anyopt.System) error {
 	}
 	sys.RTT = rtt
 	sys.AnnOrder = snap.AnnOrder
+	sys.Disc.RestoreQuarantine(snap.Quarantined)
 	return nil
 }

@@ -1,0 +1,239 @@
+package discovery
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/fault"
+	"anyopt/internal/topology"
+)
+
+// chaosCampaign is one full mini-campaign's output: everything the predictor
+// would consume, plus the self-healing bookkeeping.
+type chaosCampaign struct {
+	rtt         map[int]map[prefs.Client]int64
+	providers   []prefs.DumpedRelation
+	siteRels    []prefs.DumpedRelation
+	quarantined map[int]string
+	faultLog    []string
+	experiments int
+}
+
+// chaosSites is the campaign's singleton-measurement set: every provider's
+// representative, the full NTT footprint, and the blackout victim.
+var chaosSites = []int{1, 3, 4, 5, 6, 7, 9, 10, 11}
+
+// chaosBlackout is the site the chaos tests kill for the whole campaign:
+// Newark (NTT). It is not a representative (NTT's is site 6) and NTT keeps
+// three live sites, so the campaign can quarantine it and still discover
+// every provider pair and the surviving NTT site pairs.
+const chaosBlackout = 11
+
+// chaosFaults builds the differential test's fault mix: flaps, a trickle of
+// dropped and delayed UPDATEs, per-traversal probe loss, and one blacked-out
+// site. Rates are paper-modest so each quorum attempt has a good chance of
+// running clean; the quorum absorbs the attempts that do not.
+func chaosFaults(seed int64) *fault.Config {
+	return &fault.Config{
+		Seed:            seed,
+		FlapProb:        0.05,
+		FlapMaxLinks:    1,
+		FlapWindow:      20 * time.Minute,
+		FlapDownMin:     30 * time.Second,
+		FlapDownMax:     2 * time.Minute,
+		UpdateDropProb:  5e-6,
+		UpdateDelayProb: 1e-5,
+		UpdateDelayMax:  100 * time.Millisecond,
+		ProbeLossProb:   0.005,
+		BlackoutSites:   []int{chaosBlackout},
+	}
+}
+
+// runChaosCampaign executes the mini-campaign — singleton RTTs, provider
+// preference discovery, NTT site preference discovery — under the given fault
+// configuration (nil = fault-free).
+func runChaosCampaign(t *testing.T, faults *fault.Config) chaosCampaign {
+	t.Helper()
+	tb := newTB(t)
+	cfg := DefaultConfig()
+	cfg.Noisy = false
+	cfg.Faults = faults
+	d := New(tb, cfg)
+
+	tbl, err := d.MeasureRTTs(chaosSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provStore, err := d.ProviderPrefs(d.Representatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ntt topology.ASN
+	for _, a := range tb.Topo.Tier1s() {
+		if a.Name == "NTT" {
+			ntt = a.ASN
+		}
+	}
+	siteStore, err := d.SitePrefs(ntt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("campaign infrastructure error: %v", err)
+	}
+	return chaosCampaign{
+		rtt:         tbl.Export(),
+		providers:   provStore.Dump(),
+		siteRels:    siteStore.Dump(),
+		quarantined: d.Quarantined(),
+		faultLog:    d.FaultLog(),
+		experiments: d.Experiments,
+	}
+}
+
+// relSet indexes dumped relations, dropping those touching the excluded item
+// (pass a negative item to keep everything). Set comparison, not slice
+// comparison: skipping quarantined pairs changes the client-first-seen order
+// that Dump follows, without changing the relations themselves.
+func relSet(rels []prefs.DumpedRelation, exclude prefs.Item) map[prefs.DumpedRelation]bool {
+	out := make(map[prefs.DumpedRelation]bool, len(rels))
+	for _, r := range rels {
+		if exclude >= 0 && (r.I == exclude || r.J == exclude) {
+			continue
+		}
+		out[r] = true
+	}
+	return out
+}
+
+// TestChaosCampaignConvergesToFaultFree is the differential acceptance test
+// for the chaos layer: with faults injected at modest rates plus a permanent
+// site blackout, the self-healing campaign (K-of-N quorum re-measurement +
+// quarantine) must reproduce the fault-free campaign's outputs exactly for
+// everything that does not involve the quarantined site.
+func TestChaosCampaignConvergesToFaultFree(t *testing.T) {
+	clean := runChaosCampaign(t, nil)
+	faulted := runChaosCampaign(t, chaosFaults(7))
+
+	if clean.quarantined != nil {
+		t.Fatalf("fault-free campaign quarantined %v", clean.quarantined)
+	}
+	if len(clean.faultLog) != 0 {
+		t.Fatalf("fault-free campaign has a fault log: %v", clean.faultLog)
+	}
+	if len(faulted.quarantined) != 1 || faulted.quarantined[chaosBlackout] == "" {
+		t.Fatalf("quarantined = %v, want exactly site %d", faulted.quarantined, chaosBlackout)
+	}
+	if len(faulted.faultLog) == 0 {
+		t.Fatal("faulted campaign produced no fault log; chaos layer not exercised")
+	}
+	if faulted.experiments != clean.experiments {
+		t.Errorf("experiment counts diverged: faulted %d vs clean %d (schedule misaligned)",
+			faulted.experiments, clean.experiments)
+	}
+
+	// Singleton RTTs: identical for every live site; empty for the blackout.
+	for site, row := range clean.rtt {
+		if site == chaosBlackout {
+			continue
+		}
+		if !reflect.DeepEqual(row, faulted.rtt[site]) {
+			t.Errorf("site %d: RTT row diverged under faults (%d vs %d clients)",
+				site, len(row), len(faulted.rtt[site]))
+		}
+	}
+	if n := len(faulted.rtt[chaosBlackout]); n != 0 {
+		t.Errorf("blacked-out site %d answered %d RTT probes", chaosBlackout, n)
+	}
+
+	// Provider preference matrix: no representative is blacked out, so the
+	// dumps must match relation for relation, in order.
+	if !reflect.DeepEqual(clean.providers, faulted.providers) {
+		t.Errorf("provider preference matrices diverged: %d vs %d relations",
+			len(clean.providers), len(faulted.providers))
+	}
+
+	// NTT site-level preferences: the faulted run skips pairs touching the
+	// quarantined site but must agree on every surviving pair.
+	cleanLive := relSet(clean.siteRels, prefs.Item(chaosBlackout))
+	faultedLive := relSet(faulted.siteRels, prefs.Item(chaosBlackout))
+	if !reflect.DeepEqual(cleanLive, faultedLive) {
+		t.Errorf("site preference relations diverged: %d vs %d live relations",
+			len(cleanLive), len(faultedLive))
+	}
+	for r := range relSet(faulted.siteRels, -1) {
+		if r.I == prefs.Item(chaosBlackout) || r.J == prefs.Item(chaosBlackout) {
+			t.Errorf("faulted campaign recorded a relation for the quarantined site: %+v", r)
+		}
+	}
+	// The log must show actual injected transport faults, not just the
+	// quarantine bookkeeping — otherwise this test would pass vacuously with
+	// the chaos layer unplugged.
+	for _, want := range []string{
+		"quarantine site 11", "skip simultaneous pair", "flap link=", "probe lost",
+	} {
+		found := false
+		for _, line := range faulted.faultLog {
+			if strings.Contains(line, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fault log is missing %q; degradation must not be silent", want)
+		}
+	}
+}
+
+// TestChaosSameSeedSameFailureTrace pins injection determinism: the same
+// fault seed must reproduce both the campaign outputs and the failure trace
+// byte for byte.
+func TestChaosSameSeedSameFailureTrace(t *testing.T) {
+	a := runChaosCampaign(t, chaosFaults(7))
+	b := runChaosCampaign(t, chaosFaults(7))
+	if !reflect.DeepEqual(a.rtt, b.rtt) || !reflect.DeepEqual(a.providers, b.providers) ||
+		!reflect.DeepEqual(a.siteRels, b.siteRels) {
+		t.Error("same fault seed produced different campaign outputs")
+	}
+	if !reflect.DeepEqual(a.quarantined, b.quarantined) {
+		t.Errorf("quarantine sets differ: %v vs %v", a.quarantined, b.quarantined)
+	}
+	if !reflect.DeepEqual(a.faultLog, b.faultLog) {
+		t.Errorf("failure traces differ across identical runs (%d vs %d lines)",
+			len(a.faultLog), len(b.faultLog))
+	}
+}
+
+// TestFaultsDisabledIsByteIdentical pins the zero-cost-when-off contract: a
+// non-nil fault config with all rates zero must leave the campaign
+// byte-identical to a nil one — same results, same probe accounting, no
+// quorum, no log.
+func TestFaultsDisabledIsByteIdentical(t *testing.T) {
+	tb := newTB(t)
+	cfg := DefaultConfig()
+	d1 := New(tb, cfg)
+	cfg2 := cfg
+	cfg2.Faults = &fault.Config{Seed: 99} // all rates zero: disabled
+	d2 := New(tb, cfg2)
+
+	t1, err := d1.MeasureRTTs([]int{1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := d2.MeasureRTTs([]int{1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1.Export(), t2.Export()) {
+		t.Error("zero-rate fault config changed measurement results")
+	}
+	if d1.ProbesSent != d2.ProbesSent {
+		t.Errorf("probe accounting diverged: %d vs %d", d1.ProbesSent, d2.ProbesSent)
+	}
+	if len(d2.FaultLog()) != 0 || d2.Quarantined() != nil {
+		t.Error("disabled faults still produced fault-log or quarantine state")
+	}
+}

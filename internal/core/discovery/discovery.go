@@ -15,6 +15,12 @@
 // making every experiment's outcome a pure function of its inputs and the
 // campaign's results byte-identical whether the batch runs on one worker or
 // many.
+//
+// The campaign self-heals under injected faults (see resilience.go): each
+// experiment is re-run until K attempts agree (quorum), dead sites are
+// quarantined and their experiment slots skipped (keeping the nonce schedule
+// aligned with a fault-free run), and an optional Journal checkpoints
+// completed experiments so a killed campaign resumes byte-identically.
 package discovery
 
 import (
@@ -25,6 +31,7 @@ import (
 	"anyopt/internal/bgp"
 	"anyopt/internal/core/prefs"
 	"anyopt/internal/exec"
+	"anyopt/internal/fault"
 	"anyopt/internal/probe"
 	"anyopt/internal/testbed"
 	"anyopt/internal/topology"
@@ -46,6 +53,26 @@ type Config struct {
 	// Workers bounds how many experiments run concurrently; <= 0 selects
 	// exec.DefaultWorkers (ANYOPT_WORKERS or GOMAXPROCS).
 	Workers int
+
+	// Faults enables deterministic fault injection (nil or all-zero rates =
+	// fault-free, byte-identical to a build without the chaos layer).
+	Faults *fault.Config
+	// QuorumK/QuorumN govern self-healing re-measurement when faults are
+	// enabled: an experiment's result is accepted once K of up to N attempts
+	// agree exactly (defaults 2 of 5). Attempts reuse the experiment's
+	// jitter nonce and noise seed, so a fault-free attempt reproduces the
+	// fault-free result exactly — which is why agreement converges to it.
+	QuorumK, QuorumN int
+	// ExperimentTimeout bounds one experiment attempt in wall-clock time;
+	// 0 (the default) disables it. A timeout abandons the attempt's
+	// goroutine and retries with fresh faults; because it depends on
+	// wall-clock speed it makes campaign results machine-dependent, so
+	// leave it off when byte-reproducibility matters.
+	ExperimentTimeout time.Duration
+	// RetryBase is the base wall-clock backoff between quorum attempts
+	// (exponential, bounded; default 1ms — attempts are simulated, so the
+	// backoff models pacing, not load shedding).
+	RetryBase time.Duration
 }
 
 // DefaultConfig returns the paper-faithful campaign settings.
@@ -72,6 +99,19 @@ type Discovery struct {
 
 	nonce uint64
 	pool  *exec.Pool
+
+	// quarantined maps dead site IDs to the reason they were pulled from
+	// the campaign; see QuarantineSite.
+	quarantined map[int]string
+	// faultLog accumulates the campaign's failure trace: per-experiment
+	// injector traces folded in submission order plus quarantine and
+	// degradation notes. Deterministic for a given fault seed.
+	faultLog []string
+	// journal, when set, checkpoints completed experiments by nonce.
+	journal Journal
+	// runErr records the first experiment-infrastructure error (checkpoint
+	// I/O, schedule mismatch) from batch APIs that return no error.
+	runErr error
 }
 
 // New creates a discovery campaign over tb.
@@ -89,39 +129,65 @@ func (d *Discovery) SetWorkers(n int) { d.pool = exec.New(n) }
 // Workers returns the executor's worker count.
 func (d *Discovery) Workers() int { return d.pool.Workers() }
 
-// Exp is the context of one experiment inside a batch: the jitter nonce
-// fixed at submission time plus a private probe counter. Everything an
-// experiment reads through it — topology, testbed, campaign config — is
+// Exp is the context of one experiment attempt inside a batch: the jitter
+// nonce fixed at submission time, a private probe counter, and — when fault
+// injection is enabled — the attempt's fault injector and trace. Everything
+// an experiment reads through it — topology, testbed, campaign config — is
 // immutable while the batch runs, so experiments are safe to run on any
 // worker in any order.
 type Exp struct {
-	d      *Discovery
-	nonce  uint64
-	probes uint64
-}
-
-// batch runs n experiments through the worker pool. Nonces are drawn from
-// the campaign counter in submission order before any experiment starts;
-// probe counts fold back into the campaign totals after all finish. Callers
-// account Experiments/Slots themselves (slot structure varies by driver).
-func (d *Discovery) batch(n int, fn func(e *Exp, i int)) {
-	exps := make([]Exp, n)
-	for i := range exps {
-		d.nonce++
-		exps[i] = Exp{d: d, nonce: d.nonce}
-	}
-	d.pool.ForEach(n, func(i int) { fn(&exps[i], i) })
-	for i := range exps {
-		d.ProbesSent += exps[i].probes
-	}
+	d       *Discovery
+	nonce   uint64
+	attempt int
+	probes  uint64
+	inj     *fault.Injector
+	trace   *fault.Trace
 }
 
 // sim builds this experiment's simulation with its own jitter nonce,
-// modeling an independent experiment run.
+// modeling an independent experiment run. With fault injection enabled it
+// also arms the chaos layer: the update drop/delay hook, permanent link
+// failures for blacked-out sites, and this attempt's scheduled session
+// flaps.
 func (e *Exp) sim() *bgp.Sim {
 	cfg := e.d.Cfg.SimCfg
 	cfg.JitterNonce = e.nonce
-	return bgp.New(e.d.TB.Topo, cfg)
+	if e.inj != nil {
+		cfg.Chaos = e.inj
+	}
+	sim := bgp.New(e.d.TB.Topo, cfg)
+	if e.inj != nil {
+		for _, id := range e.inj.BlackoutSites() {
+			site := e.d.TB.Site(id)
+			if site == nil {
+				continue
+			}
+			sim.FailLink(site.TransitLink)
+			for _, pl := range site.PeerLinks {
+				sim.FailLink(pl)
+			}
+		}
+		for _, fl := range e.inj.FlapPlan(e.d.flapCandidates()) {
+			fl := fl
+			sim.Engine.Schedule(fl.DownAt, func() { sim.FailLink(fl.Link) })
+			sim.Engine.Schedule(fl.UpAt, func() { sim.RestoreLink(fl.Link) })
+		}
+	}
+	return sim
+}
+
+// flapCandidates lists the links eligible for injected session flaps: every
+// live site's transit link. Blacked-out sites are excluded so a flap's
+// restore can never resurrect a link the blackout permanently failed.
+func (d *Discovery) flapCandidates() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(d.TB.Sites))
+	for _, s := range d.TB.Sites {
+		if d.Cfg.Faults.BlackedOut(s.ID) {
+			continue
+		}
+		out = append(out, s.TransitLink)
+	}
+	return out
 }
 
 // proberAt builds a measurement prober over sim for the given test prefix,
@@ -133,6 +199,9 @@ func (e *Exp) proberAt(sim *bgp.Sim, prefix bgp.PrefixID, seedExtra int64) *prob
 		noise = probe.DefaultNoise(e.d.Cfg.NoiseSeed + int64(e.nonce)*7919 + seedExtra)
 	}
 	fab := probe.NewSimFabric(e.d.TB, sim, prefix, noise)
+	if e.inj != nil {
+		fab.Fault = e.inj
+	}
 	cfg := probe.DefaultConfig(e.d.TB.OrchAddr, e.d.TB.AnycastAddrs[prefix])
 	if e.d.Cfg.ProbeAttempts > 0 {
 		cfg.Attempts = e.d.Cfg.ProbeAttempts
@@ -246,10 +315,9 @@ type PeerDeployment struct {
 // the worker pool and returns full per-client observations (including RTTs)
 // in entry order — the workhorse of the one-pass peering experiments (§4.4).
 func (d *Discovery) RunConfigurationsWithPeers(deps []PeerDeployment) []map[prefs.Client]Observation {
-	out := make([]map[prefs.Client]Observation, len(deps))
-	d.batch(len(deps), func(e *Exp, i int) {
+	out := runBatch(d, "peers", len(deps), func(e *Exp, i int) map[prefs.Client]Observation {
 		sim := e.deploy(deps[i].Sites, deps[i].Peers)
-		out[i] = e.observe(e.prober(sim), true)
+		return e.observe(e.prober(sim), true)
 	})
 	d.Experiments += len(deps)
 	return out
@@ -266,10 +334,9 @@ func (d *Discovery) RunConfigurationWithPeers(siteIDs []int, peers []topology.Li
 // worker pool and returns measured catchments in configuration order,
 // byte-identical to calling RunConfiguration once per entry.
 func (d *Discovery) RunConfigurations(configs [][]int) []map[prefs.Client]int {
-	out := make([]map[prefs.Client]int, len(configs))
-	d.batch(len(configs), func(e *Exp, i int) {
+	out := runBatch(d, "config", len(configs), func(e *Exp, i int) map[prefs.Client]int {
 		sim := e.deploy(configs[i], nil)
-		out[i] = e.catchments(e.prober(sim))
+		return e.catchments(e.prober(sim))
 	})
 	d.Experiments += len(configs)
 	return out
@@ -292,8 +359,7 @@ type ConfigResult struct {
 // worker pool, measuring each target's catchment and the RTT to it, and
 // returns results in configuration order.
 func (d *Discovery) RunConfigurationsRTTs(configs [][]int) []ConfigResult {
-	out := make([]ConfigResult, len(configs))
-	d.batch(len(configs), func(e *Exp, i int) {
+	out := runBatch(d, "configrtt", len(configs), func(e *Exp, i int) ConfigResult {
 		sim := e.deploy(configs[i], nil)
 		catch := make(map[prefs.Client]int, len(d.TB.Topo.Targets))
 		rtts := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
@@ -303,7 +369,7 @@ func (d *Discovery) RunConfigurationsRTTs(configs [][]int) []ConfigResult {
 				rtts[c] = obs.RTT
 			}
 		}
-		out[i] = ConfigResult{Catchments: catch, RTTs: rtts}
+		return ConfigResult{Catchments: catch, RTTs: rtts}
 	})
 	d.Experiments += len(configs)
 	return out
@@ -368,17 +434,32 @@ func (d *Discovery) MeasureRTTs(siteIDs []int) (*RTTTable, error) {
 			return nil, fmt.Errorf("discovery: unknown site %d", id)
 		}
 	}
-	rows := make([]map[prefs.Client]time.Duration, len(siteIDs))
-	d.batch(len(siteIDs), func(e *Exp, i int) {
-		rows[i] = e.singletonRTTs(siteIDs[i])
+	rows := runBatch(d, "rtt", len(siteIDs), func(e *Exp, i int) map[prefs.Client]time.Duration {
+		return e.singletonRTTs(siteIDs[i])
 	})
 	d.Experiments += len(siteIDs)
+	d.detectDeadSites(siteIDs, rows)
 
 	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
 	for i, id := range siteIDs {
 		tbl.bySite[id] = rows[i]
 	}
 	return tbl, nil
+}
+
+// detectDeadSites quarantines sites whose singleton experiment produced no
+// responses at all — with fault injection enabled, the signature of a
+// blacked-out site. Fault-free campaigns never quarantine: an empty row
+// there is a measurement bug worth surfacing downstream, not an outage.
+func (d *Discovery) detectDeadSites(siteIDs []int, rows []map[prefs.Client]time.Duration) {
+	if !d.Cfg.Faults.Enabled() {
+		return
+	}
+	for i, id := range siteIDs {
+		if len(rows[i]) == 0 {
+			d.QuarantineSite(id, "no RTT responses in singleton experiment")
+		}
+	}
 }
 
 // MeasureRTTsParallel is MeasureRTTs with the §4.5 parallelization: up to
@@ -398,8 +479,7 @@ func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 		}
 	}
 	nSlots := (len(siteIDs) + nPrefixes - 1) / nPrefixes
-	rows := make([]map[prefs.Client]time.Duration, len(siteIDs))
-	d.batch(nSlots, func(e *Exp, slot int) {
+	slotRows := runBatch(d, "rttpar", nSlots, func(e *Exp, slot int) []map[prefs.Client]time.Duration {
 		start := slot * nPrefixes
 		group := siteIDs[start:min(start+nPrefixes, len(siteIDs))]
 		sim := e.sim()
@@ -409,6 +489,7 @@ func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 			sim.Announce(bgp.PrefixID(i), d.TB.Origin, d.TB.Site(id).TransitLink, 0)
 		}
 		sim.Converge()
+		out := make([]map[prefs.Client]time.Duration, len(group))
 		for i, id := range group {
 			site := d.TB.Site(id)
 			p := e.proberAt(sim, bgp.PrefixID(i), int64(i))
@@ -421,11 +502,18 @@ func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 				m[prefs.Client(tg.AS)] = rtt
 			}
 			e.probes += p.Sent
-			rows[start+i] = m
+			out[i] = m
 		}
+		return out
 	})
 	d.Experiments += len(siteIDs)
 	d.Slots += nSlots
+
+	rows := make([]map[prefs.Client]time.Duration, len(siteIDs))
+	for slot, group := range slotRows {
+		copy(rows[slot*nPrefixes:], group)
+	}
+	d.detectDeadSites(siteIDs, rows)
 
 	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
 	for i, id := range siteIDs {
@@ -435,10 +523,15 @@ func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 }
 
 // Representatives picks the default representative site (lowest ID) for each
-// transit provider.
+// transit provider, skipping quarantined sites — a provider whose every site
+// is quarantined gets no representative, and ProviderPrefs degrades
+// accordingly.
 func (d *Discovery) Representatives() map[topology.ASN]int {
 	reps := make(map[topology.ASN]int)
 	for _, s := range d.TB.Sites {
+		if d.IsQuarantined(s.ID) {
+			continue
+		}
 		if cur, ok := reps[s.Transit]; !ok || s.ID < cur {
 			reps[s.Transit] = s.ID
 		}
@@ -460,12 +553,22 @@ func sortedClients[V any](m map[prefs.Client]V) []prefs.Client {
 
 // runSimultaneousPairs announces each pair of sites simultaneously, one
 // experiment per pair, across the worker pool, returning catchments in pair
-// order.
+// order. Pairs touching a quarantined site are skipped — their slot (and
+// nonce) is still consumed, so the remaining experiments stay aligned with
+// the fault-free campaign schedule and produce identical results.
 func (d *Discovery) runSimultaneousPairs(pairs [][2]int) []map[prefs.Client]int {
-	out := make([]map[prefs.Client]int, len(pairs))
-	d.batch(len(pairs), func(e *Exp, i int) {
+	for _, pr := range pairs {
+		if d.IsQuarantined(pr[0]) || d.IsQuarantined(pr[1]) {
+			d.faultLog = append(d.faultLog,
+				fmt.Sprintf("skip simultaneous pair %d-%d: quarantined site", pr[0], pr[1]))
+		}
+	}
+	out := runBatch(d, "simpair", len(pairs), func(e *Exp, i int) map[prefs.Client]int {
+		if d.IsQuarantined(pairs[i][0]) || d.IsQuarantined(pairs[i][1]) {
+			return nil
+		}
 		sim := e.deploySimultaneous(pairs[i][0], pairs[i][1])
-		out[i] = e.catchments(e.prober(sim))
+		return e.catchments(e.prober(sim))
 	})
 	d.Experiments += len(pairs)
 	return out
@@ -491,12 +594,25 @@ func (d *Discovery) ProviderPrefs(reps map[topology.ASN]int) (*prefs.Store, erro
 	for a := 0; a < len(providers); a++ {
 		for b := a + 1; b < len(providers); b++ {
 			pa, pb := providers[a], providers[b]
-			sa, ok := reps[pa]
-			if !ok {
-				return nil, fmt.Errorf("discovery: no representative for provider %d", pa)
-			}
-			sb, ok := reps[pb]
-			if !ok {
+			sa, okA := reps[pa]
+			sb, okB := reps[pb]
+			if !okA || !okB {
+				// With faults enabled a provider can lose its last live site
+				// mid-campaign; degrade by skipping its pairs (recorded, not
+				// silent). Fault-free, a missing representative is caller
+				// error.
+				if d.Cfg.Faults.Enabled() {
+					missing := pa
+					if okA {
+						missing = pb
+					}
+					d.faultLog = append(d.faultLog, fmt.Sprintf(
+						"skip provider pair %d-%d: no live representative for provider %d", pa, pb, missing))
+					continue
+				}
+				if !okA {
+					return nil, fmt.Errorf("discovery: no representative for provider %d", pa)
+				}
 				return nil, fmt.Errorf("discovery: no representative for provider %d", pb)
 			}
 			pairs = append(pairs, pair{pa, pb})

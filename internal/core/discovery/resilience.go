@@ -1,0 +1,304 @@
+package discovery
+
+// This file is the self-healing half of the campaign runner: every batch
+// experiment flows through runBatch → runExperiment → runQuorum →
+// runAttempt, which together add checkpoint replay, K-of-N quorum
+// re-measurement under injected faults, per-attempt timeouts, and a
+// deterministic campaign fault log on top of the plain worker-pool fan-out.
+// With Cfg.Faults disabled and no journal installed, the path reduces
+// exactly to the old single-attempt batch — byte-identical results.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"time"
+
+	"anyopt/internal/exec"
+	"anyopt/internal/fault"
+)
+
+// JournalEntry is one checkpointed experiment result. Result holds the
+// experiment's JSON-encoded return value; Probes and Trace restore the
+// campaign's accounting and fault log on replay so a resumed campaign is
+// byte-identical to an uninterrupted one.
+type JournalEntry struct {
+	Kind   string          `json:"kind"`
+	Result json.RawMessage `json:"result"`
+	Probes uint64          `json:"probes"`
+	Trace  []string        `json:"trace,omitempty"`
+}
+
+// Journal checkpoints completed experiments, keyed by campaign nonce — the
+// experiment's position in the deterministic submission schedule. Lookup and
+// Record are called concurrently from worker goroutines; implementations
+// must be safe for that. internal/campaign.Checkpoint is the file-backed
+// implementation.
+type Journal interface {
+	Lookup(nonce uint64) (JournalEntry, bool)
+	Record(nonce uint64, ent JournalEntry) error
+}
+
+// SetJournal installs (or, with nil, removes) the campaign checkpoint
+// journal. Install it before the first experiment: replay matches entries by
+// nonce, so the call sequence must reproduce the schedule that wrote them.
+func (d *Discovery) SetJournal(j Journal) { d.journal = j }
+
+// Err returns the first experiment-infrastructure error — checkpoint I/O
+// failure, checkpoint/schedule mismatch, or an experiment whose every
+// attempt failed — encountered by batch APIs that do not return errors
+// themselves. Campaign drivers should check it after a run.
+func (d *Discovery) Err() error { return d.runErr }
+
+// FaultLog returns the campaign's failure trace: injected-fault events in
+// experiment submission order plus quarantine and degradation notes. For a
+// fixed fault seed and call sequence the log is reproduced verbatim.
+func (d *Discovery) FaultLog() []string { return d.faultLog }
+
+// QuarantineSite removes a site from the rest of the campaign: it loses
+// representative eligibility and its pairwise experiments are skipped (slots
+// still consumed, keeping the schedule aligned). The reason is recorded in
+// the fault log — degradation is never silent.
+func (d *Discovery) QuarantineSite(id int, reason string) {
+	if d.quarantined == nil {
+		d.quarantined = make(map[int]string)
+	}
+	if _, ok := d.quarantined[id]; ok {
+		return
+	}
+	d.quarantined[id] = reason
+	d.faultLog = append(d.faultLog, fmt.Sprintf("quarantine site %d: %s", id, reason))
+}
+
+// IsQuarantined reports whether the site has been quarantined.
+func (d *Discovery) IsQuarantined(id int) bool {
+	_, ok := d.quarantined[id]
+	return ok
+}
+
+// Quarantined returns a copy of the quarantine map (site ID → reason).
+func (d *Discovery) Quarantined() map[int]string {
+	if len(d.quarantined) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(d.quarantined))
+	for id, why := range d.quarantined {
+		out[id] = why
+	}
+	return out
+}
+
+// QuarantinedSites returns the quarantined site IDs in ascending order.
+func (d *Discovery) QuarantinedSites() []int {
+	out := make([]int, 0, len(d.quarantined))
+	for id := range d.quarantined {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RestoreQuarantine replaces the quarantine set, e.g. when reloading a saved
+// campaign whose snapshot recorded dead sites.
+func (d *Discovery) RestoreQuarantine(q map[int]string) {
+	d.quarantined = nil
+	for _, id := range sortedIntKeys(q) {
+		d.QuarantineSite(id, q[id])
+	}
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runBatch runs n experiments through the worker pool and gathers their
+// results in submission order. Nonces are drawn from the campaign counter in
+// submission order before any experiment starts; probe counts and fault
+// traces fold back into the campaign totals after all finish, also in
+// submission order, so accounting and the fault log never depend on worker
+// scheduling. An infrastructure error (checkpoint I/O, schedule mismatch)
+// cancels the batch — in-flight experiments finish, queued ones never start
+// — and is surfaced through Err.
+func runBatch[T any](d *Discovery, kind string, n int, run func(e *Exp, i int) T) []T {
+	exps := make([]*Exp, n)
+	for i := range exps {
+		d.nonce++
+		exps[i] = &Exp{d: d, nonce: d.nonce}
+	}
+	out := make([]T, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := d.pool.ForEachCtx(ctx, n, func(ctx context.Context, i int) error {
+		v, err := runExperiment(d, exps[i], kind, i, run)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil && d.runErr == nil {
+		d.runErr = err
+	}
+	for _, e := range exps {
+		d.ProbesSent += e.probes
+		d.faultLog = append(d.faultLog, e.trace.Entries()...)
+	}
+	return out
+}
+
+// runExperiment runs one experiment with checkpoint replay: a journaled
+// result short-circuits the run (restoring its probe count and fault trace),
+// a fresh result is journaled after the quorum accepts it.
+func runExperiment[T any](d *Discovery, e *Exp, kind string, i int, run func(*Exp, int) T) (T, error) {
+	var zero T
+	if d.journal != nil {
+		if ent, ok := d.journal.Lookup(e.nonce); ok {
+			if ent.Kind != kind {
+				return zero, fmt.Errorf(
+					"discovery: checkpoint entry for experiment %d is %q, want %q (campaign schedule changed?)",
+					e.nonce, ent.Kind, kind)
+			}
+			var v T
+			if err := json.Unmarshal(ent.Result, &v); err != nil {
+				return zero, fmt.Errorf("discovery: checkpoint entry for experiment %d: %w", e.nonce, err)
+			}
+			e.probes = ent.Probes
+			if len(ent.Trace) > 0 {
+				e.trace = &fault.Trace{}
+				e.trace.Append(ent.Trace...)
+			}
+			return v, nil
+		}
+	}
+	v, err := runQuorum(d, e, i, run)
+	if err != nil {
+		return zero, err
+	}
+	if d.journal != nil {
+		raw, merr := json.Marshal(v)
+		if merr != nil {
+			return zero, fmt.Errorf("discovery: encoding experiment %d for checkpoint: %w", e.nonce, merr)
+		}
+		ent := JournalEntry{Kind: kind, Result: raw, Probes: e.probes, Trace: e.trace.Entries()}
+		if jerr := d.journal.Record(e.nonce, ent); jerr != nil {
+			return zero, fmt.Errorf("discovery: checkpointing experiment %d: %w", e.nonce, jerr)
+		}
+	}
+	return v, nil
+}
+
+// errQuorumPending signals exec.Retry that more attempts are needed — the
+// current result has not yet gathered K matching votes.
+var errQuorumPending = errors.New("discovery: quorum pending")
+
+// runQuorum runs one experiment to an accepted result. Fault-free it is a
+// single attempt, exactly the pre-chaos behavior. With faults enabled it
+// re-runs the experiment — each attempt drawing fresh faults but reusing the
+// experiment's jitter nonce and noise seed — until K attempts agree exactly
+// (reflect.DeepEqual on the result). Because only the faults vary between
+// attempts, two attempts agreeing almost surely means the faults did not
+// affect either, so the quorum converges on the fault-free result. If no
+// quorum forms within N attempts the plurality result is accepted and the
+// degradation logged.
+func runQuorum[T any](d *Discovery, e *Exp, i int, run func(*Exp, int) T) (T, error) {
+	if !d.Cfg.Faults.Enabled() {
+		return runAttempt(d, e, i, 0, run)
+	}
+	e.trace = &fault.Trace{}
+	k, n := d.Cfg.QuorumK, d.Cfg.QuorumN
+	if k <= 0 {
+		k = 2
+	}
+	if n < k {
+		n = k + 3
+	}
+	backoff := exec.Backoff{Base: d.Cfg.RetryBase, Max: 500 * time.Millisecond}
+	if backoff.Base <= 0 {
+		backoff.Base = time.Millisecond
+	}
+	type ballot struct {
+		val   T
+		count int
+	}
+	var votes []ballot
+	accepted := -1
+	err := exec.Retry(context.Background(), n, backoff, func(attempt int) error {
+		v, err := runAttempt(d, e, i, attempt, run)
+		if err != nil {
+			e.trace.Addf("exp %d attempt %d: %v", e.nonce, attempt, err)
+			return err
+		}
+		for idx := range votes {
+			if reflect.DeepEqual(votes[idx].val, v) {
+				votes[idx].count++
+				if votes[idx].count >= k {
+					accepted = idx
+					return nil
+				}
+				return errQuorumPending
+			}
+		}
+		votes = append(votes, ballot{val: v, count: 1})
+		if k == 1 {
+			accepted = len(votes) - 1
+			return nil
+		}
+		return errQuorumPending
+	})
+	if accepted >= 0 {
+		return votes[accepted].val, nil
+	}
+	if len(votes) > 0 {
+		// Quorum never formed: degrade to the plurality result rather than
+		// failing the campaign, and say so in the log.
+		best := 0
+		for idx := range votes {
+			if votes[idx].count > votes[best].count {
+				best = idx
+			}
+		}
+		e.trace.Addf("exp %d: no %d-of-%d quorum; accepting plurality result with %d votes",
+			e.nonce, k, n, votes[best].count)
+		return votes[best].val, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("discovery: experiment %d failed all %d attempts: %w", e.nonce, n, err)
+}
+
+// runAttempt runs a single experiment attempt on a private Exp carrying this
+// attempt's fault injector and trace. Its probe count and trace fold into
+// the parent only on completion: a timed-out attempt's goroutine keeps
+// running detached (see exec.RunTimeout) and must not share state with later
+// attempts.
+func runAttempt[T any](d *Discovery, e *Exp, i, attempt int, run func(*Exp, int) T) (T, error) {
+	a := &Exp{d: d, nonce: e.nonce, attempt: attempt, trace: &fault.Trace{}}
+	if d.Cfg.Faults.Enabled() {
+		a.inj = d.Cfg.Faults.Injector(e.nonce, attempt, a.trace)
+	}
+	var v T
+	op := func() error {
+		v = run(a, i)
+		return nil
+	}
+	var err error
+	if t := d.Cfg.ExperimentTimeout; t > 0 {
+		err = exec.RunTimeout(t, op)
+	} else {
+		err = op()
+	}
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	e.probes += a.probes
+	e.trace.Append(a.trace.Entries()...)
+	return v, nil
+}

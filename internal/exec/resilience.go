@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout marks an operation abandoned by RunTimeout.
+var ErrTimeout = errors.New("exec: operation timed out")
+
+// ForEachCtx is ForEach with cancellation: it runs fn(ctx, i) for every i in
+// [0, n), stops handing out new indices once ctx is canceled or any call
+// returns an error, and returns the first error by index order (ties broken
+// toward the lowest index so the result does not depend on worker timing for
+// a fixed input). In-flight calls are not interrupted — fn must watch ctx
+// itself if an individual job can block — but the queue drains immediately,
+// which is what lets a failed campaign abort instead of running every
+// remaining experiment.
+//
+// When every call succeeds and ctx was canceled before all indices ran,
+// ForEachCtx returns ctx.Err().
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if p.closed.Load() {
+		panic("exec: ForEachCtx called on a closed Pool")
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx int = -1
+		firstErr error
+		panicVal any
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx < 0 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			if stopped.Load() || ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						if panicVal == nil {
+							panicVal = r
+						}
+						mu.Unlock()
+						stopped.Store(true)
+					}
+				}()
+				if err := fn(ctx, i); err != nil {
+					record(i, err)
+				}
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if int(next.Load()) < n {
+		// Workers bailed early without an fn error: the context did it.
+		return ctx.Err()
+	}
+	return ctx.Err()
+}
+
+// Backoff computes bounded exponential retry delays.
+type Backoff struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps the delay (default 10s).
+	Max time.Duration
+	// Factor multiplies the delay per retry (default 2).
+	Factor float64
+}
+
+// Delay returns the wait before retry attempt (attempt 0 = first retry).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			return max
+		}
+	}
+	if d > float64(max) {
+		return max
+	}
+	return time.Duration(d)
+}
+
+// Retry runs op up to attempts times, sleeping b.Delay between tries, and
+// returns nil on the first success or the last error. op receives the attempt
+// number (0-based). Sleeps are interrupted by ctx cancellation, which Retry
+// returns immediately.
+//
+// The wall-clock sleep lives here on purpose: the simulation packages are
+// lint-barred from time.Sleep (anyoptlint's entropy check), so retry pacing
+// is the executor's job, like all other real-time concerns.
+func Retry(ctx context.Context, attempts int, b Backoff, op func(attempt int) error) error {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(i); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		t := time.NewTimer(b.Delay(i))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return err
+}
+
+// RunTimeout runs op with a wall-clock budget and returns ErrTimeout if op
+// has not finished within d. The op goroutine is not killed — Go cannot — so
+// a timed-out op keeps running detached; callers must only use RunTimeout
+// around ops whose side effects are confined to state the caller discards on
+// timeout (each discovery experiment runs on its own Sim, which satisfies
+// this). d <= 0 runs op inline with no budget.
+func RunTimeout(d time.Duration, op func() error) error {
+	if d <= 0 {
+		return op()
+	}
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- &panicError{val: r}
+			}
+		}()
+		done <- op()
+	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		if pe, ok := err.(*panicError); ok {
+			panic(pe.val)
+		}
+		return err
+	case <-t.C:
+		return ErrTimeout
+	}
+}
+
+// panicError carries a recovered panic across the RunTimeout channel so it
+// can be re-raised on the caller's goroutine.
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return "exec: panic in timed operation" }

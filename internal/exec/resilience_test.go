@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCtxRunsAll(t *testing.T) {
+	p := New(4)
+	var count atomic.Int64
+	err := p.ForEachCtx(context.Background(), 100, func(ctx context.Context, i int) error {
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEachCtx: %v", err)
+	}
+	if count.Load() != 100 {
+		t.Errorf("ran %d of 100", count.Load())
+	}
+}
+
+func TestForEachCtxCancelStopsQueue(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	err := p.ForEachCtx(ctx, 10000, func(ctx context.Context, i int) error {
+		if count.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := count.Load(); n >= 10000 {
+		t.Errorf("cancellation did not stop the queue: %d calls ran", n)
+	}
+}
+
+func TestForEachCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		var count atomic.Int64
+		err := p.ForEachCtx(ctx, 50, func(ctx context.Context, i int) error {
+			count.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// A pre-canceled context may let at most a few already-started
+		// workers through, never the whole batch.
+		if n := count.Load(); n >= 50 {
+			t.Errorf("workers=%d: %d calls ran under a canceled context", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Regardless of worker timing, the error from the lowest index wins.
+	for trial := 0; trial < 20; trial++ {
+		p := New(8)
+		err := p.ForEachCtx(context.Background(), 64, func(ctx context.Context, i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 40:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: err = %v, want %v (lowest failing index)", trial, err, errA)
+		}
+	}
+}
+
+func TestForEachCtxPanicPropagates(t *testing.T) {
+	p := New(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	p.ForEachCtx(context.Background(), 16, func(ctx context.Context, i int) error {
+		if i == 7 {
+			panic("boom")
+		}
+		return nil
+	})
+	t.Fatal("panic did not propagate")
+}
+
+func TestForEachCtxSerialStopsOnError(t *testing.T) {
+	p := New(1)
+	sentinel := errors.New("stop")
+	calls := 0
+	err := p.ForEachCtx(context.Background(), 100, func(ctx context.Context, i int) error {
+		calls++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("serial path ran %d calls after the error, want 3 total", calls)
+	}
+}
+
+func TestBackoffDelays(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond}
+	wants := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond,
+	}
+	for i, want := range wants {
+		if got := b.Delay(i); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Zero value gets sane defaults rather than a zero (busy) delay.
+	if d := (Backoff{}).Delay(0); d < 50*time.Millisecond {
+		t.Errorf("zero-value Delay(0) = %v, want a real default", d)
+	}
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	b := Backoff{Base: 100 * time.Microsecond, Max: time.Millisecond}
+	calls := 0
+	err := Retry(context.Background(), 5, b, func(attempt int) error {
+		calls++
+		if attempt != calls-1 {
+			t.Errorf("attempt = %d on call %d", attempt, calls)
+		}
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	b := Backoff{Base: 100 * time.Microsecond, Max: time.Millisecond}
+	last := errors.New("still broken")
+	calls := 0
+	err := Retry(context.Background(), 4, b, func(attempt int) error {
+		calls++
+		return last
+	})
+	if !errors.Is(err, last) {
+		t.Fatalf("err = %v, want last op error", err)
+	}
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4", calls)
+	}
+}
+
+func TestRetryCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Backoff{Base: time.Minute} // would stall the test if not interrupted
+	start := time.Now()
+	err := Retry(ctx, 3, b, func(attempt int) error {
+		cancel()
+		return errors.New("fail")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v; backoff sleep was not interrupted", elapsed)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	if err := RunTimeout(time.Second, func() error { return nil }); err != nil {
+		t.Errorf("fast op: %v", err)
+	}
+	sentinel := errors.New("op failed")
+	if err := RunTimeout(time.Second, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("op error not propagated: %v", err)
+	}
+	block := make(chan struct{})
+	defer close(block)
+	err := RunTimeout(5*time.Millisecond, func() error {
+		<-block
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("blocked op: err = %v, want ErrTimeout", err)
+	}
+	// d <= 0 runs inline, no goroutine, no budget.
+	inline := false
+	if err := RunTimeout(0, func() error { inline = true; return nil }); err != nil || !inline {
+		t.Errorf("inline path: err=%v ran=%v", err, inline)
+	}
+}
+
+func TestRunTimeoutPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Errorf("recovered %v, want kaboom", r)
+		}
+	}()
+	RunTimeout(time.Second, func() error { panic("kaboom") })
+	t.Fatal("panic did not propagate")
+}

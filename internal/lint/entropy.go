@@ -11,7 +11,13 @@ import (
 // pure function of explicit seeds — virtual time comes from the netsim
 // engine, and every random draw must flow through a seeded source the caller
 // constructed (rand.New(rand.NewSource(seed))) or the FNV-based hash mixers.
-func checkEntropy(pkg *Package) []Diagnostic {
+//
+// With noRand set the contract tightens: the package may not touch math/rand
+// at all, even seeded. That marks packages whose randomness budget is zero —
+// any entropy they need arrives pre-drawn through parameters (jitter nonces,
+// noise models, internal/fault injectors), so a rand import there means a
+// second, untracked entropy source is sneaking onto the transport path.
+func checkEntropy(pkg *Package, noRand bool) []Diagnostic {
 	var diags []Diagnostic
 	report := func(n ast.Node, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -38,7 +44,9 @@ func checkEntropy(pkg *Package) []Diagnostic {
 					report(sel, "time.%s reads the wall clock; simulator time must come from the netsim engine", name)
 				}
 			case "math/rand", "math/rand/v2":
-				if !seededRandConstructors[name] {
+				if noRand {
+					report(sel, "%s.%s: this package holds no entropy source, seeded or not; chaos randomness belongs to internal/fault", path, name)
+				} else if !seededRandConstructors[name] {
 					report(sel, "%s.%s draws from the global rand source; thread a seeded *rand.Rand through instead", path, name)
 				}
 			case "crypto/rand":

@@ -13,7 +13,10 @@
 //     campaign results. Suppressible with `//lint:orderinvariant <reason>`.
 //   - entropy: no wall-clock reads (time.Now and friends) and no global or
 //     unseeded math/rand in simulator packages; all entropy must flow from a
-//     seeded source parameter so experiments replay bit-identically.
+//     seeded source parameter so experiments replay bit-identically. Packages
+//     whose policy also sets NoRand may not touch math/rand at all — their
+//     entropy arrives pre-drawn (jitter nonces, noise models, fault
+//     injectors), never from an RNG of their own.
 //   - copylocks: no sync.Mutex / sync.WaitGroup (or values containing one)
 //     copied by value anywhere in the module.
 //   - nogo: no `go` statement in simulator packages — concurrency is the
@@ -66,7 +69,7 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 			diags = append(diags, checkMapOrder(pkg, ann)...)
 		}
 		if p.Entropy {
-			diags = append(diags, checkEntropy(pkg)...)
+			diags = append(diags, checkEntropy(pkg, p.NoRand)...)
 		}
 		if p.CopyLocks {
 			diags = append(diags, checkCopyLocks(pkg)...)

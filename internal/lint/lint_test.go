@@ -10,9 +10,11 @@ import (
 	"testing"
 )
 
-// fixturePolicy enables every check on the fixture tree.
+// fixturePolicy enables every check on the fixture tree; the strictrand
+// fixture additionally gets the NoRand tightening it exists to exercise.
 var fixturePolicy = []PolicyRule{
 	{"anyopt/internal/lint/testdata/src/...", Policy{MapOrder: true, Entropy: true, CopyLocks: true, NoGo: true}},
+	{"anyopt/internal/lint/testdata/src/strictrand", Policy{MapOrder: true, Entropy: true, NoRand: true, CopyLocks: true, NoGo: true}},
 }
 
 func loadFixtures(t *testing.T, dirs ...string) []*Package {
@@ -79,6 +81,7 @@ func TestFixtureGolden(t *testing.T) {
 	dirs := []string{
 		"./testdata/src/maporder",
 		"./testdata/src/entropy",
+		"./testdata/src/strictrand",
 		"./testdata/src/concurrency",
 	}
 	pkgs := loadFixtures(t, dirs...)
@@ -144,14 +147,17 @@ func TestPolicyResolution(t *testing.T) {
 	}{
 		{"anyopt", baseline},
 		{"anyopt/internal/analysis", baseline},
-		{"anyopt/internal/bgp", sim},
-		{"anyopt/internal/bgp/wire", sim},
+		{"anyopt/internal/bgp", simPure},
+		{"anyopt/internal/bgp/wire", simPure},
 		{"anyopt/internal/bgp/speaker", baseline},
-		{"anyopt/internal/bgp/invariant", sim},
-		{"anyopt/internal/netsim", sim},
+		{"anyopt/internal/bgp/invariant", simPure},
+		{"anyopt/internal/netsim", simPure},
 		{"anyopt/internal/topology", sim},
-		{"anyopt/internal/core/discovery", sim},
+		{"anyopt/internal/core/discovery", simPure},
+		{"anyopt/internal/core/prefs", simPure},
 		{"anyopt/internal/core/splpo", sim},
+		{"anyopt/internal/probe", sim},
+		{"anyopt/internal/fault", sim},
 		{"anyopt/internal/exec", baseline},
 		{"anyopt/cmd/anyopt", baseline},
 		{"github.com/elsewhere/pkg", Policy{}},

@@ -6,6 +6,7 @@ import "strings"
 type Policy struct {
 	MapOrder  bool // range-over-map order sensitivity
 	Entropy   bool // wall clock & global/unseeded rand bans
+	NoRand    bool // with Entropy: ban math/rand outright, seeded or not
 	CopyLocks bool // sync primitives copied by value
 	NoGo      bool // go statements banned
 }
@@ -28,18 +29,38 @@ var baseline = Policy{MapOrder: true, CopyLocks: true}
 // — parallelism belongs exclusively to internal/exec.
 var sim = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoGo: true}
 
+// simPure tightens sim for packages that should hold no entropy source at
+// all, seeded or not: their randomness budget is zero, so an imported
+// math/rand is a design smell regardless of how it is constructed. Jitter
+// reaches bgp through explicit nonce parameters, noise reaches measurements
+// through probe's NoiseModel, and chaos reaches the transport path only
+// through internal/fault.
+var simPure = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoRand: true, NoGo: true}
+
 // DefaultPolicies is the repository policy table. The most specific
 // (longest) matching pattern wins.
 var DefaultPolicies = []PolicyRule{
 	{"anyopt/...", baseline},
 
-	// Simulator packages: results must be a pure function of seeds.
-	{"anyopt/internal/bgp", sim},
-	{"anyopt/internal/bgp/wire", sim},
-	{"anyopt/internal/bgp/invariant", sim},
-	{"anyopt/internal/netsim", sim},
+	// Simulator packages: results must be a pure function of seeds — and
+	// these hold no RNG of their own, so math/rand is banned outright.
+	{"anyopt/internal/bgp", simPure},
+	{"anyopt/internal/bgp/wire", simPure},
+	{"anyopt/internal/bgp/invariant", simPure},
+	{"anyopt/internal/netsim", simPure},
+	{"anyopt/internal/core/...", simPure},
+
+	// Seeded-RNG owners: these construct their own rand.New(NewSource(seed))
+	// — topology generation, SPLPO's randomized search, probe noise — so they
+	// get sim without the outright rand ban.
 	{"anyopt/internal/topology", sim},
-	{"anyopt/internal/core/...", sim},
+	{"anyopt/internal/core/splpo", sim},
+	{"anyopt/internal/probe", sim},
+
+	// The fault injector is the only package on the simulated transport path
+	// allowed to own chaos entropy; every stream it holds is derived from
+	// (seed, nonce, attempt).
+	{"anyopt/internal/fault", sim},
 
 	// The real-network BGP speaker runs hold timers and read deadlines over
 	// TCP sessions; wall clock and goroutines are inherent to it. It still
@@ -47,7 +68,9 @@ var DefaultPolicies = []PolicyRule{
 	{"anyopt/internal/bgp/speaker", baseline},
 
 	// The worker pool is the one place goroutines are allowed; it is also
-	// outside the sim's entropy contract (it reads only worker counts).
+	// outside the sim's entropy contract (it reads only worker counts) — and
+	// it is where retry/timeout sleeps live, since sim packages cannot call
+	// time.Sleep.
 	{"anyopt/internal/exec", baseline},
 }
 

@@ -1,0 +1,33 @@
+// Package strictrand is an anyoptlint self-test fixture for the NoRand
+// tightening of the entropy contract: under NoRand even seeded math/rand
+// construction is flagged, while entropy that arrives pre-drawn through
+// parameters passes.
+package strictrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seededIsStillBanned(seed int64) int {
+	src := rand.NewSource(seed) // want "rand.NewSource: this package holds no entropy source"
+	rng := rand.New(src)        // want "rand.New: this package holds no entropy source"
+	return rng.Intn(10)
+}
+
+func globalIsBannedToo() float64 {
+	return rand.Float64() // want "rand.Float64: this package holds no entropy source"
+}
+
+func typeReferencesAreBanned(rng *rand.Rand) int { // want "rand.Rand: this package holds no entropy source"
+	return rng.Intn(3)
+}
+
+// preDrawn shows the sanctioned shape: the caller drew the entropy and hands
+// over plain values.
+func preDrawn(jitter time.Duration, coin bool) time.Duration {
+	if coin {
+		return jitter * 2
+	}
+	return jitter
+}

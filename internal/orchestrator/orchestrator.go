@@ -12,9 +12,12 @@
 package orchestrator
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/netip"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,13 +42,37 @@ type action struct {
 	prepend  int
 }
 
+// SessionChaos decides control-session fault injection for the
+// orchestrator: internal/fault's Injector implements it. The indirection
+// keeps this package free of a fault dependency.
+type SessionChaos interface {
+	// ResetSession reports whether the session to the site drops before
+	// the next control message is sent.
+	ResetSession(siteID int) bool
+}
+
+// siteTally tracks one site's control-plane message flow: sent counts
+// messages pushed into the session, decoded counts UPDATEs the site router
+// has finished processing. Flush waits for them to match and reports the
+// difference per site when they don't.
+type siteTally struct {
+	sent, decoded atomic.Uint64
+}
+
 // Orchestrator manages the BGP control plane toward every site.
 type Orchestrator struct {
 	TB  *testbed.Testbed
 	Sim *bgp.Sim
 
+	// Chaos, when non-nil, injects control-session resets before sends;
+	// the orchestrator self-heals by re-establishing the session.
+	// SessionResets counts how many times it did.
+	Chaos         SessionChaos
+	SessionResets int
+
 	mu       sync.Mutex
 	sessions map[int]*speaker.Session
+	tallies  map[int]*siteTally
 	queue    []action
 	routers  sync.WaitGroup
 
@@ -66,6 +93,10 @@ func New(tb *testbed.Testbed, sim *bgp.Sim) (*Orchestrator, error) {
 		TB:       tb,
 		Sim:      sim,
 		sessions: make(map[int]*speaker.Session, len(tb.Sites)),
+		tallies:  make(map[int]*siteTally, len(tb.Sites)),
+	}
+	for _, site := range tb.Sites {
+		o.tallies[site.ID] = &siteTally{}
 	}
 	for _, addr := range tb.AnycastAddrs {
 		o.Prefixes = append(o.Prefixes, netip.PrefixFrom(addr, 24).Masked())
@@ -112,11 +143,31 @@ func (o *Orchestrator) connectSite(site *testbed.Site) error {
 	if orchSess.PeerAS() == 64512 {
 		orchSess, siteSess = siteSess, orchSess
 	}
+	o.mu.Lock()
 	o.sessions[site.ID] = orchSess
+	o.mu.Unlock()
 
 	o.routers.Add(1)
 	go o.siteRouter(site, siteSess)
 	return nil
+}
+
+// ResetSite tears down the control session to a site and re-establishes it —
+// the self-healing response to an injected (or real) session drop. Messages
+// already decoded are unaffected; the caller sends on the fresh session.
+func (o *Orchestrator) ResetSite(siteID int) error {
+	site := o.TB.Site(siteID)
+	if site == nil {
+		return fmt.Errorf("orchestrator: unknown site %d", siteID)
+	}
+	o.mu.Lock()
+	sess := o.sessions[siteID]
+	delete(o.sessions, siteID)
+	o.mu.Unlock()
+	if sess != nil {
+		sess.Close()
+	}
+	return o.connectSite(site)
 }
 
 // siteRouter is the stub running "at" a site: it consumes UPDATE messages
@@ -126,6 +177,7 @@ func (o *Orchestrator) siteRouter(site *testbed.Site, sess *speaker.Session) {
 	for u := range sess.Updates() {
 		o.routeUpdate(site, u)
 		o.decoded.Add(1)
+		o.tallies[site.ID].decoded.Add(1)
 	}
 }
 
@@ -193,6 +245,9 @@ func (o *Orchestrator) prefixIndex(p netip.Prefix) int {
 // announce the prefix with the given index over the link with the given
 // ordinal (0 = transit), with optional AS-path prepending.
 func (o *Orchestrator) Announce(siteID, prefixIdx, linkOrdinal, prepend int) error {
+	if err := o.maybeResetSession(siteID); err != nil {
+		return err
+	}
 	sess, site, err := o.session(siteID)
 	if err != nil {
 		return err
@@ -217,12 +272,29 @@ func (o *Orchestrator) Announce(siteID, prefixIdx, linkOrdinal, prepend int) err
 		return err
 	}
 	o.sent.Add(1)
+	o.tallies[siteID].sent.Add(1)
+	return nil
+}
+
+// maybeResetSession consults the chaos model and, when it fires, drops and
+// re-establishes the site's control session before the next send.
+func (o *Orchestrator) maybeResetSession(siteID int) error {
+	if o.Chaos == nil || !o.Chaos.ResetSession(siteID) {
+		return nil
+	}
+	if err := o.ResetSite(siteID); err != nil {
+		return err
+	}
+	o.SessionResets++
 	return nil
 }
 
 // Withdraw sends a real withdrawal for the prefix to the site, which removes
 // it from all of the site's links.
 func (o *Orchestrator) Withdraw(siteID, prefixIdx int) error {
+	if err := o.maybeResetSession(siteID); err != nil {
+		return err
+	}
 	sess, _, err := o.session(siteID)
 	if err != nil {
 		return err
@@ -234,6 +306,7 @@ func (o *Orchestrator) Withdraw(siteID, prefixIdx int) error {
 		return err
 	}
 	o.sent.Add(1)
+	o.tallies[siteID].sent.Add(1)
 	return nil
 }
 
@@ -242,27 +315,61 @@ func (o *Orchestrator) session(siteID int) (*speaker.Session, *testbed.Site, err
 	if site == nil {
 		return nil, nil, fmt.Errorf("orchestrator: unknown site %d", siteID)
 	}
+	o.mu.Lock()
 	sess := o.sessions[siteID]
+	o.mu.Unlock()
 	if sess == nil {
 		return nil, nil, fmt.Errorf("orchestrator: no session to site %d", siteID)
 	}
 	return sess, site, nil
 }
 
-// Flush waits for in-flight updates to be decoded, applies all queued
+// SiteFlushError reports one site's undelivered control messages at flush
+// time.
+type SiteFlushError struct {
+	SiteID  int
+	Pending uint64
+}
+
+// FlushError is returned by FlushContext when the context expired before
+// every sent control message was decoded. Sites lists who still owed
+// messages, in site-ID order — nothing is dropped silently.
+type FlushError struct {
+	Sites []SiteFlushError
+}
+
+func (e *FlushError) Error() string {
+	var b strings.Builder
+	b.WriteString("orchestrator: flush deadline with undelivered messages:")
+	for _, s := range e.Sites {
+		fmt.Fprintf(&b, " site %d (%d pending)", s.SiteID, s.Pending)
+	}
+	return b.String()
+}
+
+// FlushContext waits for in-flight updates to be decoded, applies all queued
 // routing actions in order (spaced by spacing of virtual time), and
 // converges the simulation. It returns the number of actions applied.
+//
+// If ctx expires first, the actions decoded so far are still applied and the
+// returned *FlushError lists, per site, how many sent messages were never
+// decoded — so a wedged session degrades loudly instead of silently dropping
+// withdrawals.
 //
 // Actions sent to *different* sites between two flushes are decoded by
 // independent router goroutines, so their relative order is not guaranteed;
 // when announcement order matters (it does — §4.2), announce one step and
 // Flush before the next, exactly as the paper's orchestrator waits out its
 // six-minute spacing.
-func (o *Orchestrator) Flush(spacing time.Duration) int {
+func (o *Orchestrator) FlushContext(ctx context.Context, spacing time.Duration) (int, error) {
 	// The site routers consume from session channels asynchronously: wait
 	// until every sent control message has been decoded.
-	deadline := time.Now().Add(5 * time.Second)
-	for o.decoded.Load() < o.sent.Load() && time.Now().Before(deadline) {
+	var err error
+	for o.decoded.Load() < o.sent.Load() {
+		if ctx.Err() != nil {
+			err = o.pendingError()
+			break
+		}
 		time.Sleep(time.Millisecond)
 	}
 
@@ -282,12 +389,53 @@ func (o *Orchestrator) Flush(spacing time.Duration) int {
 		})
 	}
 	o.Sim.Converge()
-	return len(actions)
+	return len(actions), err
+}
+
+// pendingError snapshots the per-site sent/decoded imbalance as a
+// *FlushError, or nil when nothing is owed.
+func (o *Orchestrator) pendingError() error {
+	ids := make([]int, 0, len(o.tallies))
+	for id := range o.tallies {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sites []SiteFlushError
+	for _, id := range ids {
+		t := o.tallies[id]
+		if sent, dec := t.sent.Load(), t.decoded.Load(); sent > dec {
+			sites = append(sites, SiteFlushError{SiteID: id, Pending: sent - dec})
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	return &FlushError{Sites: sites}
+}
+
+// Flush is FlushContext with the historical five-second deadline, dropping
+// the error for callers that only need the applied-action count.
+func (o *Orchestrator) Flush(spacing time.Duration) int {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n, _ := o.FlushContext(ctx, spacing)
+	return n
 }
 
 // Close tears down every session.
 func (o *Orchestrator) Close() {
-	for _, s := range o.sessions {
+	o.mu.Lock()
+	ids := make([]int, 0, len(o.sessions))
+	for id := range o.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	sessions := make([]*speaker.Session, 0, len(ids))
+	for _, id := range ids {
+		sessions = append(sessions, o.sessions[id])
+	}
+	o.mu.Unlock()
+	for _, s := range sessions {
 		s.Close()
 	}
 	o.routers.Wait()

@@ -21,6 +21,10 @@ type SimFabric struct {
 	Prefix bgp.PrefixID
 	// Noise perturbs every traversal; nil means a noise-free channel.
 	Noise *NoiseModel
+	// Fault, when non-nil, injects deterministic measurement-plane faults on
+	// top of the baseline noise: extra per-traversal probe loss and
+	// blacked-out sites whose tunnels answer nothing.
+	Fault FaultModel
 	// Capture, when set, records every request and reply the orchestrator
 	// sees as raw-IP pcap records at their virtual timestamps — openable in
 	// tcpdump/Wireshark for debugging the measurement plane.
@@ -74,6 +78,11 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 		site := f.TB.SiteByTunnelKey(gre.Key)
 		if site == nil {
 			return nil, 0, fmt.Errorf("probe: unknown tunnel key %d", gre.Key)
+		}
+		if f.Fault != nil && f.Fault.SiteDead(site.ID) {
+			// The site is blacked out: its tunnel endpoint answers nothing,
+			// so probing via it can never succeed.
+			return nil, 0, ErrUnreachable
 		}
 		inner, icmpBytes, err = netproto.ParseIPv4(ipPayload)
 		if err != nil {
@@ -130,6 +139,11 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 	if site == nil {
 		return nil, 0, fmt.Errorf("probe: reply entered over non-testbed link %d", ret.EntryLink)
 	}
+	if f.Fault != nil && f.Fault.SiteDead(site.ID) {
+		// Blacked-out catchment site: the reply dies there instead of
+		// returning through the tunnel.
+		return nil, 0, ErrUnreachable
+	}
 	retDelay, alive := f.noise(ret.Delay)
 	if !alive {
 		return nil, 0, ErrLost
@@ -170,7 +184,12 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 	return wirePkt, sentAt + fwdDelay + retDelay + tunnelBack, nil
 }
 
+// noise perturbs one traversal leg: injected fault loss first, then the
+// baseline noise model.
 func (f *SimFabric) noise(d time.Duration) (time.Duration, bool) {
+	if f.Fault != nil && f.Fault.DropProbe() {
+		return 0, false
+	}
 	if f.Noise == nil {
 		return d, true
 	}

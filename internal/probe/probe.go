@@ -252,6 +252,17 @@ func median(samples []time.Duration) time.Duration {
 	return s[(len(s)-1)/2]
 }
 
+// FaultModel injects deterministic measurement-plane faults on top of the
+// baseline noise. internal/fault's Injector implements it; the indirection
+// keeps this package free of a fault dependency.
+type FaultModel interface {
+	// DropProbe reports whether the next packet traversal is lost.
+	DropProbe() bool
+	// SiteDead reports whether a site is blacked out: its tunnel endpoint
+	// answers nothing and replies reaching it die there.
+	SiteDead(siteID int) bool
+}
+
 // NoiseModel injects measurement noise into path delays, as the real
 // Internet would.
 type NoiseModel struct {
