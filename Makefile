@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fmt race invariants chaos bench check
+.PHONY: build test vet lint fmt race invariants chaos bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -37,13 +37,20 @@ invariants:
 # campaign must converge to the fault-free preference matrix modulo
 # quarantined sites), failure-trace determinism, and checkpoint/resume.
 chaos:
-	$(GO) test -run 'Chaos|FaultsDisabled|Checkpoint|SaveLoadQuarantine' \
+	$(GO) test -run 'Chaos|FaultsDisabled|Checkpoint|SaveLoadQuarantine|Pooled' \
 		./internal/core/discovery/ ./internal/campaign/
 	$(GO) test -race -run 'ForEachCtx|Retry|RunTimeout|Flush|SessionReset' \
 		./internal/exec/ ./internal/orchestrator/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-json runs the two campaign-speed benchmarks and reduces them to a
+# checked-in JSON document (ns/op, B/op, allocs/op, experiments/s) so perf
+# changes are diffable across commits.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkDiscoveryCampaign|BenchmarkFig4aOrderFlip' \
+		-benchmem -json . | $(GO) run ./cmd/benchjson -out BENCH_5.json
 
 # check is the CI gate: formatting, static analysis, the full suite, the
 # race pass, the invariant-audited BGP suite, and the chaos suite.

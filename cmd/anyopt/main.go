@@ -16,6 +16,9 @@
 // transport faults into the campaign (seed from -fault-seed, default
 // ANYOPT_FAULT_SEED or 1); -checkpoint FILE journals completed experiments
 // so a killed discover run resumes where it left off.
+//
+// Profiling: -cpuprofile FILE and -memprofile FILE write stdlib pprof
+// profiles for the run (heap profile taken after a final GC on exit).
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"anyopt/internal/core/predict"
 	"anyopt/internal/experiments"
 	"anyopt/internal/fault"
+	"anyopt/internal/prof"
 	"anyopt/internal/topology"
 )
 
@@ -63,12 +67,24 @@ func main() {
 	faults := flag.String("faults", "none", "fault-injection scenario: none, paper, or harsh")
 	faultSeed := flag.Int64("fault-seed", fault.SeedFromEnv(), "fault injection seed (default $"+fault.SeedEnv+" or 1)")
 	checkpoint := flag.String("checkpoint", "", "journal completed experiments to this file; a rerun resumes from it")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	env, err := experiments.NewEnv(*scale, *seed)
 	if err != nil {

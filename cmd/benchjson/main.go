@@ -1,0 +1,154 @@
+// Command benchjson reduces `go test -bench` output to a small JSON
+// document suitable for checking into the repo and diffing across commits:
+//
+//	go test -run xxx -bench 'Campaign|Fig4a' -benchmem -json . | benchjson -out BENCH.json
+//
+// It accepts either the `go test -json` event stream or plain benchmark
+// text on stdin, keeps every metric a benchmark reported (ns/op, B/op,
+// allocs/op, and custom b.ReportMetric units), and derives experiments/s
+// for benchmarks that report an `experiments` metric. Output order follows
+// input order, so the document is deterministic for a fixed bench run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one reduced benchmark line.
+type benchResult struct {
+	// Name is the benchmark's full name including sub-benchmarks, with the
+	// trailing -GOMAXPROCS suffix split off into Procs.
+	Name  string `json:"name"`
+	Procs int    `json:"procs,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics holds every reported "value unit" pair, keyed by unit.
+	Metrics map[string]float64 `json:"metrics"`
+	// ExperimentsPerSec is derived from ns/op and the campaign benchmarks'
+	// `experiments` metric: experiments / (ns_per_op / 1e9).
+	ExperimentsPerSec float64 `json:"experiments_per_sec,omitempty"`
+}
+
+// testEvent is the subset of the `go test -json` event stream we care about.
+type testEvent struct {
+	Action string `json:"action"`
+	Output string `json:"output"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "write the JSON document to this file (default stdout)")
+	flag.Parse()
+
+	var results []benchResult
+	// The testing package prints a benchmark's name before running it and
+	// its numbers after, so under `go test -json` the two halves arrive as
+	// separate output events; pending holds a name awaiting its numbers.
+	var pending string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// `go test -json` wraps each output line in an event; plain bench
+		// output arrives as-is. Try the wrapper first.
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				line = strings.TrimSuffix(ev.Output, "\n")
+			}
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 1 && strings.HasPrefix(fields[0], "Benchmark") {
+			pending = fields[0]
+			continue
+		}
+		if pending != "" && len(fields) > 0 {
+			if _, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+				line = pending + "\t" + line
+			}
+			pending = ""
+		}
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+
+	doc, err := json.MarshalIndent(struct {
+		Benchmarks []benchResult `json:"benchmarks"`
+	}{results}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBenchLine parses one testing-package benchmark result line:
+//
+//	BenchmarkName/sub=1-8   5   165514723 ns/op   62092074 B/op   16.96 flip_%
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Iterations: iters, Metrics: make(map[string]float64)}
+	r.Name, r.Procs = splitProcs(fields[0])
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return benchResult{}, false
+	}
+	if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
+		if exps, ok := r.Metrics["experiments"]; ok {
+			r.ExperimentsPerSec = exps / (ns / 1e9)
+		}
+	}
+	return r, true
+}
+
+// splitProcs splits the trailing -GOMAXPROCS suffix testing appends to
+// benchmark names; a name with no numeric suffix is returned unchanged.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 0
+	}
+	return name[:i], p
+}

@@ -16,11 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"anyopt/internal/analysis"
 	"anyopt/internal/core/discovery"
 	"anyopt/internal/fault"
+	"anyopt/internal/prof"
 	"anyopt/internal/testbed"
 	"anyopt/internal/topology"
 )
@@ -29,14 +29,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
 	var (
-		scale     = flag.String("scale", "test", "topology scale: test or default")
-		seed      = flag.Int64("seed", 1, "topology seed")
-		fig4c     = flag.Bool("fig4c", false, "include the (slow) Figure 4c site-level sweep")
-		workers   = flag.Int("workers", 0, "experiment executor workers (0 = ANYOPT_WORKERS or GOMAXPROCS)")
-		faults    = flag.String("faults", "none", "fault-injection scenario: none, paper, or harsh")
-		faultSeed = flag.Int64("fault-seed", fault.SeedFromEnv(), "fault injection seed (default $"+fault.SeedEnv+" or 1)")
+		scale      = flag.String("scale", "test", "topology scale: test or default")
+		seed       = flag.Int64("seed", 1, "topology seed")
+		fig4c      = flag.Bool("fig4c", false, "include the (slow) Figure 4c site-level sweep")
+		workers    = flag.Int("workers", 0, "experiment executor workers (0 = ANYOPT_WORKERS or GOMAXPROCS)")
+		faults     = flag.String("faults", "none", "fault-injection scenario: none, paper, or harsh")
+		faultSeed  = flag.Int64("fault-seed", fault.SeedFromEnv(), "fault injection seed (default $"+fault.SeedEnv+" or 1)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	params := topology.TestParams()
 	if *scale == "default" {
@@ -124,7 +136,8 @@ func main() {
 	if !*fig4c {
 		reportFaults()
 		fmt.Println("(run with -fig4c for the site-level sweep)")
-		os.Exit(0)
+		// Plain return, not os.Exit: the deferred profile flush must run.
+		return
 	}
 
 	// Fig 4c: site-level total orders, flat naive vs two-level ordered.
@@ -143,15 +156,9 @@ func main() {
 	// Two-level: provider order × site prefs. A client has a two-level
 	// total order when it has a provider total order and a total order
 	// within every multi-site provider.
-	siteStores := map[topology.ASN]*struct {
-		frac float64
-	}{}
 	twoLevelOK := 0
 	provOrder, _ := ordered.BestAnnouncementOrder(6)
 	clients := ordered.Clients()
-	type siteStore = map[topology.ASN]interface{ FracFor() }
-	_ = siteStores
-	_ = siteStore(nil)
 	perProvider := map[topology.ASN]map[int64]bool{} // provider → clients with intra order
 	for _, pASN := range providers {
 		st, err := d.SitePrefs(pASN)

@@ -77,7 +77,7 @@ func (s *Sim) selectBest(a topology.ASN, rib *ribState) (*route, []*route) {
 			nCand++
 		}
 	}
-	candidates := make([]*route, 0, nCand)
+	candidates := s.cands.alloc(nCand)
 	for _, r := range routes {
 		if r.localPref == best.localPref && r.pathLen() == best.pathLen() {
 			candidates = append(candidates, r)

@@ -54,7 +54,7 @@ func (s *Sim) RestoreLink(id topology.LinkID) {
 		p := psID(s, ps)
 		// Origin-side announcements resume.
 		if prepend, ok := ps.announced[id]; ok {
-			path := make([]topology.ASN, 1+prepend)
+			path := s.paths.alloc(1 + prepend)
 			for i := range path {
 				path[i] = ps.origin
 			}
@@ -73,7 +73,7 @@ func (s *Sim) RestoreLink(id topology.LinkID) {
 			if !exportAllowed(rib.best.link.RoleOf(end), l.RoleOf(end)) {
 				continue
 			}
-			path := append([]topology.ASN{end}, rib.best.path...)
+			path := s.paths.newPath(end, rib.best.path)
 			s.deliver(p, l, other, path, 0)
 		}
 	}

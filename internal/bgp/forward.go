@@ -23,6 +23,138 @@ type ForwardResult struct {
 	Delay time.Duration
 }
 
+// Forwarding memoization
+//
+// After convergence the walk below re-derives the same per-AS choice for
+// every target routed through that AS. The choice's inputs split cleanly:
+//
+//   - simple ASes (one candidate, or several but neither multiple direct
+//     origin links nor multipath): the choice is the best route, independent
+//     of ingress PoP and flow — cacheable per AS.
+//   - hot-potato ASes (>1 direct link to the origin): the choice depends on
+//     the ingress PoP only — cacheable per (AS, ingress PoP). It is terminal:
+//     the chosen link lands at the origin.
+//   - multipath ASes: the choice hashes the flow over the candidate set —
+//     inherently per-target, never cached.
+//
+// All of it is valid only while no decision process runs anywhere: Sim.fwdGen
+// advances on every runDecision and the caches clear lazily when their
+// generation falls behind.
+
+// fwdKind classifies how an AS picks among its forwarding candidates.
+type fwdKind uint8
+
+const (
+	fwdSimple fwdKind = iota
+	fwdHot
+	fwdMulti
+)
+
+// fwdHotKey identifies an AS plus the PoP a packet entered it at (-1 when
+// the packet originates inside that AS).
+type fwdHotKey struct {
+	as      topology.ASN
+	ingress int32
+}
+
+// fwdTerm is a path-compressed walk suffix: a packet entering key.as at
+// key.ingress deterministically reaches the origin over link after delay more
+// one-way latency, for every target. ok=false records states that must not be
+// compressed because a multipath AS, a routeless AS, or an over-long chain
+// lies downstream — those walks stay per-hop.
+type fwdTerm struct {
+	link  topology.LinkID
+	delay time.Duration
+	ok    bool
+}
+
+// fwdCache memoizes forwarding resolution for one prefix within one routing
+// generation.
+type fwdCache struct {
+	gen     uint64
+	classes map[topology.ASN]fwdKind
+	hot     map[fwdHotKey]*route
+	term    map[fwdHotKey]fwdTerm
+}
+
+// fwdCacheOf returns ps's cache, cleared if a decision ran since it was last
+// used.
+func (s *Sim) fwdCacheOf(ps *prefixState) *fwdCache {
+	c := &ps.fwd
+	if c.gen != s.fwdGen {
+		if c.classes == nil {
+			c.classes = make(map[topology.ASN]fwdKind, s.Topo.NumASes())
+			c.hot = make(map[fwdHotKey]*route)
+			c.term = make(map[fwdHotKey]fwdTerm, s.Topo.NumASes())
+		} else {
+			clear(c.classes)
+			clear(c.hot)
+			clear(c.term)
+		}
+		c.gen = s.fwdGen
+	}
+	return c
+}
+
+// fwdClassOf resolves (once per AS per generation) how cur chooses among its
+// candidates.
+func (s *Sim) fwdClassOf(c *fwdCache, ps *prefixState, cur topology.ASN, rib *ribState) fwdKind {
+	if k, ok := c.classes[cur]; ok {
+		return k
+	}
+	k := fwdSimple
+	if len(rib.candidates) > 1 {
+		nDirect := 0
+		for _, cand := range rib.candidates {
+			if cand.link.Other(cur) == ps.origin {
+				nDirect++
+			}
+		}
+		switch {
+		case nDirect > 1:
+			k = fwdHot
+		case s.Topo.AS(cur).Multipath:
+			k = fwdMulti
+		}
+	}
+	c.classes[cur] = k
+	return k
+}
+
+// resolveHot picks (once per (AS, ingress PoP) per generation) the direct
+// origin link hot potato delivers a packet to. MED precedes interior cost in
+// the decision process: among routes from the same neighbor (the origin), the
+// lowest MED wins before hot potato compares IGP distances (§4.3 — "the
+// interior routing inside an AS determines the intra-AS catchments").
+func (s *Sim) resolveHot(c *fwdCache, ps *prefixState, cur topology.ASN, ingressPoP int, rib *ribState) *route {
+	k := fwdHotKey{cur, int32(ingressPoP)}
+	if r, ok := c.hot[k]; ok {
+		return r
+	}
+	minMED, seen := 0, false
+	for _, cand := range rib.candidates {
+		if cand.link.Other(cur) != ps.origin {
+			continue
+		}
+		if !seen || cand.med < minMED {
+			minMED, seen = cand.med, true
+		}
+	}
+	var best *route
+	bestCost := 0.0
+	for _, cand := range rib.candidates {
+		if cand.link.Other(cur) != ps.origin || cand.med != minMED {
+			continue
+		}
+		cost := s.Topo.IGPCost(cur, ingressPoP, cand.link.PoPAt(cur))
+		if best == nil || cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	c.hot[k] = best
+	return best
+}
+
 // Forward traces the AS-level forwarding path of a packet sent by target
 // toward prefix p and reports the origin link (catchment site attachment) it
 // reaches. ok is false when the target's AS has no route.
@@ -44,30 +176,33 @@ func (s *Sim) Forward(p PrefixID, target topology.Target) (ForwardResult, bool) 
 	if ps == nil {
 		return ForwardResult{}, false
 	}
+	c := s.fwdCacheOf(ps)
 	cur := target.AS
 	ingressPoP := -1 // targets sit at the client network itself
 	var res ForwardResult
 	strictBest := false
+	visited := s.fwdScratch[:0]
 
 	for hop := 0; ; hop++ {
 		if hop > maxForwardHops {
 			panic(fmt.Sprintf("bgp: forwarding walk exceeded %d hops for target %s toward prefix %d",
 				maxForwardHops, target.Addr, p))
 		}
-		res.ASPath = append(res.ASPath, cur)
+		visited = append(visited, cur)
 
 		rib := ps.ribs[cur]
 		if rib == nil || rib.best == nil {
+			s.fwdScratch = visited
 			return ForwardResult{}, false
 		}
-		r := s.chooseForwardingRoute(ps, cur, ingressPoP, rib, target, strictBest)
+		r := s.chooseVia(c, ps, cur, ingressPoP, rib, target, strictBest)
 		next := r.link.Other(cur)
-		// res.ASPath doubles as the visited set: walks are at most
+		// visited doubles as the revisit set: walks are at most
 		// maxForwardHops long, so a linear scan beats a per-call map.
-		if next != ps.origin && asPathContains(res.ASPath, next) && !strictBest {
+		if next != ps.origin && asPathContains(visited, next) && !strictBest {
 			// ECMP ping-pong: re-resolve under strict best-path forwarding.
 			strictBest = true
-			r = s.chooseForwardingRoute(ps, cur, ingressPoP, rib, target, true)
+			r = s.chooseVia(c, ps, cur, ingressPoP, rib, target, true)
 			next = r.link.Other(cur)
 		}
 
@@ -79,6 +214,8 @@ func (s *Sim) Forward(p PrefixID, target topology.Target) (ForwardResult, bool) 
 
 		if next == ps.origin {
 			res.EntryLink = r.link.ID
+			res.ASPath = append([]topology.ASN(nil), visited...)
+			s.fwdScratch = visited
 			return res, true
 		}
 		ingressPoP = r.link.PoPAt(next)
@@ -86,56 +223,168 @@ func (s *Sim) Forward(p PrefixID, target topology.Target) (ForwardResult, bool) 
 	}
 }
 
+// CatchmentEntry resolves where target's traffic enters the anycast
+// deployment — the origin-side link and the one-way delay — without
+// materializing the AS path. It is the hot-path form of Forward: besides
+// skipping the path copy, it path-compresses multipath-free walk suffixes.
+// Entering a given AS at a given PoP leads every flow to the same site over
+// the same remaining delay as long as no multipath AS lies downstream, so
+// after the first walk the whole suffix costs one map lookup.
+func (s *Sim) CatchmentEntry(p PrefixID, target topology.Target) (topology.LinkID, time.Duration, bool) {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return 0, 0, false
+	}
+	c := s.fwdCacheOf(ps)
+	cur := target.AS
+	ingressPoP := -1
+	var delay time.Duration
+	strictBest := false
+	visited := s.fwdScratch[:0]
+
+	for hop := 0; ; hop++ {
+		if hop > maxForwardHops {
+			panic(fmt.Sprintf("bgp: forwarding walk exceeded %d hops for target %s toward prefix %d",
+				maxForwardHops, target.Addr, p))
+		}
+		// Path compression: a memoized multipath-free suffix ends the walk.
+		// This is byte-equivalent to walking hop by hop — strict-mode flips
+		// only change choices at multipath ASes, and a suffix containing one
+		// is never compressed (resolveTerm poisons it).
+		if t, ok := s.resolveTerm(c, ps, cur, ingressPoP); ok {
+			s.fwdScratch = visited
+			return t.link, delay + t.delay, true
+		}
+		visited = append(visited, cur)
+
+		rib := ps.ribs[cur]
+		if rib == nil || rib.best == nil {
+			s.fwdScratch = visited
+			return 0, 0, false
+		}
+		r := s.chooseVia(c, ps, cur, ingressPoP, rib, target, strictBest)
+		next := r.link.Other(cur)
+		if next != ps.origin && asPathContains(visited, next) && !strictBest {
+			strictBest = true
+			r = s.chooseVia(c, ps, cur, ingressPoP, rib, target, true)
+			next = r.link.Other(cur)
+		}
+
+		delay += s.Topo.IGPDelay(cur, ingressPoP, r.link.PoPAt(cur)) + r.link.Delay
+
+		if next == ps.origin {
+			s.fwdScratch = visited
+			return r.link.ID, delay, true
+		}
+		ingressPoP = r.link.PoPAt(next)
+		cur = next
+	}
+}
+
+// resolveTerm returns the path-compressed suffix from (cur, ingressPoP),
+// computing and recording it — for every state along the chain — on first
+// use. Compression covers only flow-independent stretches: simple ASes chase
+// their best route, and a hot-potato AS terminates at the origin. The first
+// multipath AS, routeless AS, or over-long chain poisons every state on the
+// stretch so those walks stay per-hop (where revisit detection and the
+// original panic semantics apply).
+func (s *Sim) resolveTerm(c *fwdCache, ps *prefixState, cur topology.ASN, ingressPoP int) (fwdTerm, bool) {
+	if t, ok := c.term[fwdHotKey{cur, int32(ingressPoP)}]; ok {
+		return t, t.ok
+	}
+	// chain records every state traversed plus the delay accumulated before
+	// entering it, so each gets its own term entry (path compression).
+	var chain [maxForwardHops + 1]struct {
+		key   fwdHotKey
+		delay time.Duration
+	}
+	n := 0
+	var delay time.Duration
+	var link topology.LinkID
+	good := false
+
+	as, ing := cur, ingressPoP
+walk:
+	for {
+		k := fwdHotKey{as, int32(ing)}
+		if n > 0 { // state 0's absence was just checked
+			if t, ok := c.term[k]; ok {
+				// Splice onto an already-resolved suffix.
+				if t.ok {
+					link = t.link
+					delay += t.delay
+					good = true
+				}
+				break walk
+			}
+		}
+		if n == len(chain) {
+			break walk // over-long chain: leave good=false, poison the stretch
+		}
+		chain[n].key = k
+		chain[n].delay = delay
+		n++
+
+		rib := ps.ribs[as]
+		if rib == nil || rib.best == nil {
+			break walk // unreachable downstream: per-hop walk reports it
+		}
+		switch s.fwdClassOf(c, ps, as, rib) {
+		case fwdMulti:
+			break walk // flow-dependent: never compress through here
+		case fwdHot:
+			r := s.resolveHot(c, ps, as, ing, rib)
+			delay += s.Topo.IGPDelay(as, ing, r.link.PoPAt(as)) + r.link.Delay
+			link = r.link.ID
+			good = true // hot-potato routes are direct: terminal at the origin
+			break walk
+		default: // fwdSimple: follow the best route
+			r := rib.best
+			next := r.link.Other(as)
+			delay += s.Topo.IGPDelay(as, ing, r.link.PoPAt(as)) + r.link.Delay
+			if next == ps.origin {
+				link = r.link.ID
+				good = true
+				break walk
+			}
+			ing = r.link.PoPAt(next)
+			as = next
+		}
+	}
+	for i := 0; i < n; i++ {
+		if good {
+			c.term[chain[i].key] = fwdTerm{link: link, delay: delay - chain[i].delay, ok: true}
+		} else {
+			c.term[chain[i].key] = fwdTerm{}
+		}
+	}
+	t := c.term[fwdHotKey{cur, int32(ingressPoP)}]
+	return t, t.ok
+}
+
 // chooseForwardingRoute picks the route a packet entering AS cur at
 // ingressPoP actually follows. In strict mode only the hot-potato direct-site
 // override applies (it terminates the walk immediately).
 func (s *Sim) chooseForwardingRoute(ps *prefixState, cur topology.ASN, ingressPoP int, rib *ribState, target topology.Target, strict bool) *route {
-	if len(rib.candidates) <= 1 {
-		return rib.best
-	}
+	return s.chooseVia(s.fwdCacheOf(ps), ps, cur, ingressPoP, rib, target, strict)
+}
 
-	// Hot-potato among direct links to the origin: when several anycast
-	// sites attach to this AS, interior routing delivers each ingress to its
-	// nearest site (§4.3 — "the interior routing inside an AS determines the
-	// intra-AS catchments").
-	var direct []*route
-	for _, c := range rib.candidates {
-		if c.link.Other(cur) == ps.origin {
-			direct = append(direct, c)
+// chooseVia is chooseForwardingRoute against an already-validated cache.
+func (s *Sim) chooseVia(c *fwdCache, ps *prefixState, cur topology.ASN, ingressPoP int, rib *ribState, target topology.Target, strict bool) *route {
+	switch s.fwdClassOf(c, ps, cur, rib) {
+	case fwdHot:
+		return s.resolveHot(c, ps, cur, ingressPoP, rib)
+	case fwdMulti:
+		// Multipath ASes hash the flow across all equally preferred routes.
+		// The hash covers the candidate next hops themselves, as real ECMP
+		// does: when the set of equal-cost routes changes (a different
+		// experiment enables different sites), the flow re-hashes, so a
+		// multipath AS's apparent preferences are stable per pair but not
+		// transitive across pairs — one of the paper's sources of clients
+		// without total orders (§4.2).
+		if !strict {
+			return rib.candidates[flowIndex(target, cur, rib.candidates)]
 		}
-	}
-	if len(direct) > 1 {
-		// MED precedes interior cost in the decision process: among routes
-		// from the same neighbor (the origin), the lowest MED wins before
-		// hot potato compares IGP distances.
-		minMED := direct[0].med
-		for _, c := range direct[1:] {
-			if c.med < minMED {
-				minMED = c.med
-			}
-		}
-		best := (*route)(nil)
-		bestCost := 0.0
-		for _, c := range direct {
-			if c.med != minMED {
-				continue
-			}
-			cost := s.Topo.IGPCost(cur, ingressPoP, c.link.PoPAt(cur))
-			if best == nil || cost < bestCost {
-				best, bestCost = c, cost
-			}
-		}
-		return best
-	}
-
-	// Multipath ASes hash the flow across all equally preferred routes. The
-	// hash covers the candidate next hops themselves, as real ECMP does: when
-	// the set of equal-cost routes changes (a different experiment enables
-	// different sites), the flow re-hashes, so a multipath AS's apparent
-	// preferences are stable per pair but not transitive across pairs —
-	// one of the paper's sources of clients without total orders (§4.2).
-	if !strict && s.Topo.AS(cur).Multipath {
-		return rib.candidates[flowIndex(target, cur, rib.candidates)]
 	}
 	return rib.best
 }
@@ -166,8 +415,8 @@ func asPathContains(path []topology.ASN, a topology.ASN) bool {
 func (s *Sim) CatchmentMap(p PrefixID, targets []topology.Target) map[topology.ASN]topology.LinkID {
 	out := make(map[topology.ASN]topology.LinkID, len(targets))
 	for _, t := range targets {
-		if res, ok := s.Forward(p, t); ok {
-			out[t.AS] = res.EntryLink
+		if link, _, ok := s.CatchmentEntry(p, t); ok {
+			out[t.AS] = link
 		}
 	}
 	return out

@@ -23,7 +23,7 @@ package bgp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"anyopt/internal/netsim"
@@ -143,55 +143,127 @@ type Sim struct {
 
 	// paths hands out announced-path storage without a make per update.
 	paths pathArena
-	// routes and ribs slab-allocate the two per-update object kinds.
+	// routes and ribs slab-allocate the two per-update object kinds. routes
+	// is rewound by Reset; ribs never is, because ribStates stay reachable
+	// from prefixState.ribs across sessions.
 	routes slab[route]
 	ribs   slab[ribState]
+	// cands backs the candidate sets stored in RIBs, rewound by Reset.
+	cands candArena
 	// routeScratch backs selectBest's working slice across decisions.
 	routeScratch []*route
+	// linkScratch backs WithdrawAll's snapshot of announced links.
+	linkScratch []topology.LinkID
+	// fwdScratch backs the forwarding walk's visited list (forward.go).
+	fwdScratch []topology.ASN
+
+	// fwdGen numbers routing generations. It advances whenever any RIB's
+	// selection state may have changed; forwarding memoization (forward.go)
+	// is valid only within one generation.
+	fwdGen uint64
 }
 
-// slab hands out zeroed T's carved from chunked backing arrays, for objects
-// that live until the Sim is dropped — one allocation per chunk instead of
-// one per object.
+// slab hands out zeroed T's carved from chunked backing arrays — one
+// allocation per chunk instead of one per object. reset rewinds the slab so
+// its chunks are carved again; the caller owns proving that no references to
+// previously handed-out objects survive the rewind.
 type slab[T any] struct {
-	free []T
+	chunks [][]T
+	cur    int // chunk currently being carved
+	used   int // elements handed out from chunks[cur]
 }
 
 const slabChunk = 512
 
 func (s *slab[T]) alloc() *T {
-	if len(s.free) == 0 {
-		s.free = make([]T, slabChunk)
+	if s.cur == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, slabChunk))
 	}
-	p := &s.free[0]
-	s.free = s.free[1:]
+	c := s.chunks[s.cur]
+	p := &c[s.used]
+	var zero T
+	*p = zero
+	s.used++
+	if s.used == len(c) {
+		s.cur++
+		s.used = 0
+	}
 	return p
 }
+
+func (s *slab[T]) reset() { s.cur, s.used = 0, 0 }
 
 // pathArena carves immutable AS-path slices out of chunked slabs. Every
 // exported update used to allocate its own path slice; paths are never
 // mutated after construction and live as long as the routes holding them, so
-// slab storage is handed out once and never reused.
+// storage is handed out once per session and rewound wholesale by Reset.
 type pathArena struct {
-	free []topology.ASN
+	chunks [][]topology.ASN
+	cur    int
+	used   int
 }
 
 const pathArenaChunk = 4096
 
-// alloc returns a zeroed n-element path with capacity capped at n, so later
-// appends by callers can never clobber a neighboring path in the slab.
+// alloc returns an n-element path with capacity capped at n, so later appends
+// by callers can never clobber a neighboring path in the slab. The contents
+// are unspecified (chunks are reused across Reset): every caller fills all n
+// elements.
 func (pa *pathArena) alloc(n int) []topology.ASN {
-	if n > len(pa.free) {
-		size := pathArenaChunk
-		if n > size {
-			size = n
+	for {
+		if pa.cur == len(pa.chunks) {
+			size := pathArenaChunk
+			if n > size {
+				size = n
+			}
+			pa.chunks = append(pa.chunks, make([]topology.ASN, size))
 		}
-		pa.free = make([]topology.ASN, size)
+		if c := pa.chunks[pa.cur]; pa.used+n <= len(c) {
+			p := c[pa.used : pa.used+n : pa.used+n]
+			pa.used += n
+			return p
+		}
+		pa.cur++
+		pa.used = 0
 	}
-	p := pa.free[:n:n]
-	pa.free = pa.free[n:]
-	return p
 }
+
+func (pa *pathArena) reset() { pa.cur, pa.used = 0, 0 }
+
+// candArena carves the candidate-set slices stored in RIBs. A decision run
+// abandons the AS's previous candidate slice, so within one session the arena
+// only grows — but the growth is the same order as the update count, and
+// Reset reclaims all of it at once.
+type candArena struct {
+	chunks [][]*route
+	cur    int
+	used   int
+}
+
+const candArenaChunk = 1024
+
+// alloc returns a zero-length slice with capacity exactly n for appending
+// candidates into arena storage.
+func (ca *candArena) alloc(n int) []*route {
+	for {
+		if ca.cur == len(ca.chunks) {
+			size := candArenaChunk
+			if n > size {
+				size = n
+			}
+			ca.chunks = append(ca.chunks, make([]*route, size))
+		}
+		if c := ca.chunks[ca.cur]; ca.used+n <= len(c) {
+			p := c[ca.used : ca.used : ca.used+n]
+			ca.used += n
+			return p
+		}
+		ca.cur++
+		ca.used = 0
+	}
+}
+
+func (ca *candArena) reset() { ca.cur, ca.used = 0, 0 }
 
 // newPath builds the path [first, rest...] in arena storage.
 func (pa *pathArena) newPath(first topology.ASN, rest []topology.ASN) []topology.ASN {
@@ -208,6 +280,9 @@ type prefixState struct {
 	announced map[topology.LinkID]int
 	meds      map[topology.LinkID]int
 	ribs      map[topology.ASN]*ribState
+	// fwd memoizes forwarding resolution for the current routing generation
+	// (see forward.go).
+	fwd fwdCache
 }
 
 // New creates a simulator over topo.
@@ -221,7 +296,45 @@ func New(topo *topology.Topology, cfg Config) *Sim {
 		Cfg:      cfg,
 		prefixes: make(map[PrefixID]*prefixState),
 		failed:   make(map[topology.LinkID]bool),
+		fwdGen:   1, // so a zero-valued fwdCache (gen 0) is never current
 	}
+}
+
+// Reset returns a used simulator to the state New(s.Topo, cfg) would produce
+// while retaining every topology-sized allocation: prefix and RIB maps are
+// cleared in place, the route slab, path arena, and candidate arena are
+// rewound, and the event engine keeps its queue storage and event pool. A
+// warm session therefore runs a whole new experiment with near-zero
+// steady-state allocation. Callers must not hold references into the old
+// session (BestRouteView paths, candidate slices); copies such as BestRoute
+// results are fine.
+func (s *Sim) Reset(cfg Config) {
+	if cfg.ProcDelayMax < cfg.ProcDelayMin {
+		panic(fmt.Sprintf("bgp: ProcDelayMax %v < ProcDelayMin %v", cfg.ProcDelayMax, cfg.ProcDelayMin))
+	}
+	s.Cfg = cfg
+	s.Engine.Reset()
+	s.Updates = 0
+	clear(s.failed)
+	// Clearing per-prefix state writes only keyed entries and per-state
+	// fields, so map iteration order cannot leak into anything observable.
+	for _, ps := range s.prefixes {
+		ps.origin = 0
+		clear(ps.announced)
+		clear(ps.meds)
+		for _, rib := range ps.ribs {
+			clear(rib.in)
+			rib.best = nil
+			rib.candidates = nil
+		}
+	}
+	s.routes.reset()
+	s.paths.reset()
+	s.cands.reset()
+	s.routeScratch = s.routeScratch[:0]
+	// A new generation invalidates all forwarding memoization; the per-prefix
+	// caches clear themselves lazily on first use.
+	s.fwdGen++
 }
 
 // state returns (creating if needed) the per-prefix state. The RIB map is
@@ -311,9 +424,12 @@ func (s *Sim) Withdraw(p PrefixID, link topology.LinkID) {
 // WithdrawAll withdraws the prefix from every currently announced link, in
 // ascending link-ID order so the resulting event schedule is reproducible —
 // map-iteration order here used to leak into withdrawal-event sequence
-// numbers and, through same-timestamp ties, into routing outcomes.
+// numbers and, through same-timestamp ties, into routing outcomes. The link
+// snapshot lives in Sim-owned scratch, so repeated deploy/withdraw cycles
+// allocate nothing here.
 func (s *Sim) WithdrawAll(p PrefixID) {
-	for _, link := range s.AnnouncedLinks(p) {
+	s.linkScratch = s.AppendAnnouncedLinks(p, s.linkScratch[:0])
+	for _, link := range s.linkScratch {
 		s.Withdraw(p, link)
 	}
 }
@@ -325,12 +441,24 @@ func (s *Sim) AnnouncedLinks(p PrefixID) []topology.LinkID {
 	if ps == nil {
 		return nil
 	}
-	out := make([]topology.LinkID, 0, len(ps.announced))
-	for l := range ps.announced {
-		out = append(out, l)
+	return s.AppendAnnouncedLinks(p, make([]topology.LinkID, 0, len(ps.announced)))
+}
+
+// AppendAnnouncedLinks appends the origin links currently carrying prefix p
+// to buf in ascending link-ID order and returns the extended slice, letting
+// callers reuse a buffer across calls.
+func (s *Sim) AppendAnnouncedLinks(p PrefixID, buf []topology.LinkID) []topology.LinkID {
+	ps := s.prefixes[p]
+	if ps == nil {
+		return buf
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	start := len(buf)
+	//lint:orderinvariant the appended region is sorted immediately below
+	for l := range ps.announced {
+		buf = append(buf, l)
+	}
+	slices.Sort(buf[start:])
+	return buf
 }
 
 // deliver schedules the arrival of an update (path != nil) or withdrawal
@@ -348,12 +476,26 @@ func (s *Sim) deliver(p PrefixID, l *topology.Link, dst topology.ASN, path []top
 		}
 		delay += extra
 	}
-	s.Engine.After(delay, func() {
-		if s.failed[l.ID] {
-			return // the link went down while the update was in flight
-		}
-		s.receive(p, l, dst, path, med)
+	// A pooled typed event instead of a closure: the hot path schedules one
+	// update without allocating the *Event or the capture.
+	s.Engine.AfterEvent(delay, s, netsim.Payload{
+		Link:   l,
+		Path:   path,
+		Dst:    dst,
+		Prefix: int32(p),
+		MED:    int32(med),
 	})
+}
+
+// HandleEvent implements netsim.Handler: one scheduled update (Path != nil)
+// or withdrawal (Path == nil) arriving at its destination AS. The *Payload
+// points into pooled event storage; only its fields — which alias Sim-owned
+// arena memory — are kept.
+func (s *Sim) HandleEvent(ev *netsim.Payload) {
+	if s.failed[ev.Link.ID] {
+		return // the link went down while the update was in flight
+	}
+	s.receive(PrefixID(ev.Prefix), ev.Link, ev.Dst, ev.Path, int(ev.MED))
 }
 
 // procDelay derives the per-AS processing delay for a prefix: a stable
@@ -433,6 +575,10 @@ func (s *Sim) importPref(as *topology.AS, l *topology.Link) int {
 
 // runDecision re-runs best-path selection at AS a and propagates any change.
 func (s *Sim) runDecision(p PrefixID, ps *prefixState, a topology.ASN, rib *ribState) {
+	// Any decision run invalidates forwarding memoization, even one that is
+	// export-equivalent: the candidate set feeds multipath flow hashing and
+	// hot-potato choice, so export equivalence is not forwarding equivalence.
+	s.fwdGen++
 	oldBest := rib.best
 	rib.best, rib.candidates = s.selectBest(a, rib)
 	s.invCheckBest(a, rib)
@@ -522,24 +668,39 @@ type RouteInfo struct {
 }
 
 // BestRoute returns the selected route at AS a for prefix p, or nil when the
-// prefix is unreachable from a.
+// prefix is unreachable from a. The Path is an independent copy, safe to hold
+// across further simulation.
 func (s *Sim) BestRoute(p PrefixID, a topology.ASN) *RouteInfo {
+	v, ok := s.BestRouteView(p, a)
+	if !ok {
+		return nil
+	}
+	v.Path = append([]topology.ASN(nil), v.Path...)
+	return &v
+}
+
+// BestRouteView is BestRoute without the defensive path copy: the returned
+// Path aliases simulator-owned arena storage and is valid only until the next
+// delivered update, link event, or Reset. Read-heavy internal callers use it
+// to inspect routes without per-call garbage; anything that stores the result
+// must use BestRoute.
+func (s *Sim) BestRouteView(p PrefixID, a topology.ASN) (RouteInfo, bool) {
 	ps := s.prefixes[p]
 	if ps == nil {
-		return nil
+		return RouteInfo{}, false
 	}
 	rib := ps.ribs[a]
 	if rib == nil || rib.best == nil {
-		return nil
+		return RouteInfo{}, false
 	}
 	b := rib.best
-	return &RouteInfo{
+	return RouteInfo{
 		Neighbor:  b.link.Other(a),
 		Link:      b.link.ID,
-		Path:      append([]topology.ASN(nil), b.path...),
+		Path:      b.path,
 		LocalPref: b.localPref,
 		Arrival:   b.arrival,
-	}
+	}, true
 }
 
 // ReachableCount returns how many ASes currently have a route to prefix p.

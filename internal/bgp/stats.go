@@ -86,8 +86,8 @@ func (st ConvergenceStats) MeanPathLength() float64 {
 func (s *Sim) CatchmentSizes(p PrefixID, targets []topology.Target) map[topology.LinkID]int {
 	out := map[topology.LinkID]int{}
 	for _, tg := range targets {
-		if res, ok := s.Forward(p, tg); ok {
-			out[res.EntryLink]++
+		if link, _, ok := s.CatchmentEntry(p, tg); ok {
+			out[link]++
 		}
 	}
 	return out

@@ -26,6 +26,7 @@ package discovery
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"anyopt/internal/bgp"
@@ -73,6 +74,13 @@ type Config struct {
 	// (exponential, bounded; default 1ms — attempts are simulated, so the
 	// backoff models pacing, not load shedding).
 	RetryBase time.Duration
+
+	// FreshSims disables simulator session reuse: every experiment then
+	// constructs a brand-new bgp.Sim instead of recycling a warm one through
+	// Sim.Reset. Reuse is proven byte-identical by the differential tests;
+	// this switch exists for those tests and for bisecting suspected reuse
+	// bugs.
+	FreshSims bool
 }
 
 // DefaultConfig returns the paper-faithful campaign settings.
@@ -99,6 +107,13 @@ type Discovery struct {
 
 	nonce uint64
 	pool  *exec.Pool
+
+	// simPool recycles converged simulators across experiments: Sim.Reset
+	// clears a session in place, so workers reuse warm topology-sized state
+	// (maps, slabs, arenas, the event pool) instead of reallocating it for
+	// each of the campaign's N² experiments. sync.Pool's per-P caching means
+	// each worker mostly gets its own sims back, without contention.
+	simPool sync.Pool
 
 	// quarantined maps dead site IDs to the reason they were pulled from
 	// the campaign; see QuarantineSite.
@@ -142,6 +157,9 @@ type Exp struct {
 	probes  uint64
 	inj     *fault.Injector
 	trace   *fault.Trace
+	// sims tracks the simulators this attempt acquired, for release back to
+	// the campaign pool when the attempt completes.
+	sims []*bgp.Sim
 }
 
 // sim builds this experiment's simulation with its own jitter nonce,
@@ -155,7 +173,8 @@ func (e *Exp) sim() *bgp.Sim {
 	if e.inj != nil {
 		cfg.Chaos = e.inj
 	}
-	sim := bgp.New(e.d.TB.Topo, cfg)
+	sim := e.d.acquireSim(cfg)
+	e.sims = append(e.sims, sim)
 	if e.inj != nil {
 		for _, id := range e.inj.BlackoutSites() {
 			site := e.d.TB.Site(id)
@@ -174,6 +193,34 @@ func (e *Exp) sim() *bgp.Sim {
 		}
 	}
 	return sim
+}
+
+// acquireSim hands out a simulator configured with cfg: a recycled warm
+// session (reset in place) when the pool has one, a new construction
+// otherwise or when FreshSims disables reuse.
+func (d *Discovery) acquireSim(cfg bgp.Config) *bgp.Sim {
+	if !d.Cfg.FreshSims {
+		if v := d.simPool.Get(); v != nil {
+			sim := v.(*bgp.Sim)
+			sim.Reset(cfg)
+			return sim
+		}
+	}
+	return bgp.New(d.TB.Topo, cfg)
+}
+
+// release returns the attempt's simulators to the campaign pool. It must run
+// on the attempt's own goroutine, after its last use of them: an attempt
+// abandoned by exec.RunTimeout keeps exclusive ownership of its sims until
+// its detached goroutine finishes, so a timed-out attempt can never hand a
+// still-running session to another experiment.
+func (e *Exp) release() {
+	if !e.d.Cfg.FreshSims {
+		for _, s := range e.sims {
+			e.d.simPool.Put(s)
+		}
+	}
+	e.sims = nil
 }
 
 // flapCandidates lists the links eligible for injected session flaps: every

@@ -286,6 +286,7 @@ func runAttempt[T any](d *Discovery, e *Exp, i, attempt int, run func(*Exp, int)
 	var v T
 	op := func() error {
 		v = run(a, i)
+		a.release()
 		return nil
 	}
 	var err error

@@ -23,47 +23,68 @@ type GRE struct {
 
 // Marshal serializes the header followed by payload.
 func (g *GRE) Marshal(payload []byte) []byte {
+	return g.AppendMarshal(nil, payload)
+}
+
+// AppendMarshal appends the serialized header followed by payload to buf and
+// returns the extended slice; see IPv4.AppendMarshal.
+func (g *GRE) AppendMarshal(buf, payload []byte) []byte {
 	n := 4
 	if g.KeyPresent {
 		n += 4
 	}
-	b := make([]byte, n+len(payload))
+	buf = grow(buf, n+len(payload))
+	b := buf[len(buf)-n-len(payload):]
+	b[0] = 0
 	if g.KeyPresent {
-		b[0] |= 0x20 // K bit
+		b[0] = 0x20 // K bit
 	}
+	b[1] = 0 // version 0
 	binary.BigEndian.PutUint16(b[2:], g.Protocol)
 	if g.KeyPresent {
 		binary.BigEndian.PutUint32(b[4:], g.Key)
 	}
 	copy(b[n:], payload)
-	return b
+	return buf
 }
 
 // ParseGRE parses a GRE header and returns it with the payload (sliced from
 // data, not copied).
 func ParseGRE(data []byte) (*GRE, []byte, error) {
+	g := new(GRE)
+	payload, err := g.Unmarshal(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, payload, nil
+}
+
+// Unmarshal parses a GRE header into g — which may live on the caller's
+// stack, avoiding ParseGRE's allocation — and returns the payload (sliced
+// from data, not copied).
+func (g *GRE) Unmarshal(data []byte) ([]byte, error) {
 	if len(data) < 4 {
-		return nil, nil, fmt.Errorf("netproto: GRE header truncated: %d bytes", len(data))
+		return nil, fmt.Errorf("netproto: GRE header truncated: %d bytes", len(data))
 	}
 	flags := data[0]
 	if ver := data[1] & 0x07; ver != 0 {
-		return nil, nil, fmt.Errorf("netproto: GRE version %d unsupported", ver)
+		return nil, fmt.Errorf("netproto: GRE version %d unsupported", ver)
 	}
 	if flags&0x80 != 0 {
-		return nil, nil, fmt.Errorf("netproto: GRE checksum flag unsupported")
+		return nil, fmt.Errorf("netproto: GRE checksum flag unsupported")
 	}
 	if flags&0x10 != 0 {
-		return nil, nil, fmt.Errorf("netproto: GRE sequence flag unsupported")
+		return nil, fmt.Errorf("netproto: GRE sequence flag unsupported")
 	}
-	g := &GRE{Protocol: binary.BigEndian.Uint16(data[2:])}
+	*g = GRE{Protocol: binary.BigEndian.Uint16(data[2:])}
 	off := 4
 	if flags&0x20 != 0 {
 		if len(data) < 8 {
-			return nil, nil, fmt.Errorf("netproto: GRE key truncated")
+			return nil, fmt.Errorf("netproto: GRE key truncated")
 		}
 		g.KeyPresent = true
 		g.Key = binary.BigEndian.Uint32(data[4:])
 		off = 8
 	}
-	return g, data[off:], nil
+	return data[off:], nil
 }

@@ -30,34 +30,58 @@ type ICMPEcho struct {
 
 // Marshal serializes the message with a computed checksum.
 func (m *ICMPEcho) Marshal() []byte {
-	b := make([]byte, icmpEchoHeaderLen+len(m.Payload))
+	return m.AppendMarshal(nil)
+}
+
+// AppendMarshal appends the serialized message to buf and returns the
+// extended slice; see IPv4.AppendMarshal.
+func (m *ICMPEcho) AppendMarshal(buf []byte) []byte {
+	n := icmpEchoHeaderLen + len(m.Payload)
+	buf = grow(buf, n)
+	b := buf[len(buf)-n:]
 	b[0] = m.Type
 	b[1] = m.Code
+	b[2], b[3] = 0, 0
 	binary.BigEndian.PutUint16(b[4:], m.ID)
 	binary.BigEndian.PutUint16(b[6:], m.Seq)
 	copy(b[icmpEchoHeaderLen:], m.Payload)
 	binary.BigEndian.PutUint16(b[2:], Checksum(b))
-	return b
+	return buf
 }
 
-// ParseICMPEcho parses an echo request/reply and verifies its checksum.
+// ParseICMPEcho parses an echo request/reply and verifies its checksum. The
+// returned Payload is an independent copy; Unmarshal is the zero-copy
+// variant.
 func ParseICMPEcho(data []byte) (*ICMPEcho, error) {
+	m := new(ICMPEcho)
+	if err := m.Unmarshal(data); err != nil {
+		return nil, err
+	}
+	m.Payload = append([]byte(nil), m.Payload...)
+	return m, nil
+}
+
+// Unmarshal parses an echo request/reply into m — which may live on the
+// caller's stack — and verifies its checksum. Payload aliases data: valid
+// only while the packet buffer is, so callers that retain it must copy.
+func (m *ICMPEcho) Unmarshal(data []byte) error {
 	if len(data) < icmpEchoHeaderLen {
-		return nil, fmt.Errorf("netproto: ICMP message truncated: %d bytes", len(data))
+		return fmt.Errorf("netproto: ICMP message truncated: %d bytes", len(data))
 	}
 	if t := data[0]; t != ICMPEchoRequest && t != ICMPEchoReply {
-		return nil, fmt.Errorf("netproto: ICMP type %d is not an echo message", t)
+		return fmt.Errorf("netproto: ICMP type %d is not an echo message", t)
 	}
 	if !VerifyChecksum(data) {
-		return nil, fmt.Errorf("netproto: ICMP checksum mismatch")
+		return fmt.Errorf("netproto: ICMP checksum mismatch")
 	}
-	return &ICMPEcho{
+	*m = ICMPEcho{
 		Type:    data[0],
 		Code:    data[1],
 		ID:      binary.BigEndian.Uint16(data[4:]),
 		Seq:     binary.BigEndian.Uint16(data[6:]),
-		Payload: append([]byte(nil), data[icmpEchoHeaderLen:]...),
-	}, nil
+		Payload: data[icmpEchoHeaderLen:],
+	}
+	return nil
 }
 
 // Reply builds the echo reply for a request, echoing ID, Seq, and payload.

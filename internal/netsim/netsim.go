@@ -7,24 +7,67 @@
 // time.Duration offset from the simulation epoch; no wall-clock time is ever
 // consulted, which lets a simulated "two hours between BGP experiments"
 // complete in microseconds of real time.
+//
+// Events come in two flavors sharing one pool and one queue:
+//
+//   - closure events (Schedule/After) for cold paths: tests, deployment
+//     spacing, orchestrator timers. Each costs the caller's closure.
+//   - typed events (ScheduleEvent/AfterEvent) for the hot path: a Payload
+//     describing one BGP update in flight, dispatched to a Handler. These
+//     allocate nothing in steady state — fired events return to an intrusive
+//     free list and are reused by later schedules.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
+
+	"anyopt/internal/topology"
 )
 
-// Event is a unit of work scheduled on the Engine.
+// Payload is the typed cargo of a pooled event: one BGP update (or
+// withdrawal) in flight on a link. The engine does not interpret it; it is
+// handed to the Handler the event was scheduled with.
+type Payload struct {
+	// Link is the link the update travels on.
+	Link *topology.Link
+	// Path is the announced AS path; nil marks a withdrawal.
+	Path []topology.ASN
+	// Dst is the AS receiving the update.
+	Dst topology.ASN
+	// Prefix identifies the announced prefix.
+	Prefix int32
+	// MED is the multi-exit discriminator carried by the update.
+	MED int32
+}
+
+// Handler consumes a typed event when it fires. The *Payload points into
+// pooled event storage: it is valid only for the duration of the call and
+// must not be retained.
+type Handler interface {
+	HandleEvent(p *Payload)
+}
+
+// Event is a unit of work scheduled on the Engine. Events are pooled: the
+// handle returned by Schedule is valid for Cancel only until the event fires,
+// after which the engine recycles it for a future schedule.
 type Event struct {
 	// At is the virtual time at which the event fires.
 	At time.Duration
-	// Run executes the event. It may schedule further events.
-	Run func()
 
-	seq uint64 // tie-breaker: FIFO among events with equal At
-	idx int    // heap index
+	run     func()  // closure mode; nil for typed events
+	handler Handler // typed mode; nil for closure events
+	payload Payload
+
+	seq  uint64 // tie-breaker: FIFO among events with equal At
+	idx  int32  // queue position; -1 when not queued
+	free *Event // intrusive free-list link while recycled
 }
+
+// eventBlock is how many pooled events are carved per allocation. Convergence
+// bursts grow the pool a few block at a time; after the high-water mark,
+// scheduling never allocates.
+const eventBlock = 64
 
 // Engine is a deterministic discrete-event scheduler.
 //
@@ -32,10 +75,11 @@ type Event struct {
 // simulation model is single-threaded by design so that event ordering — which
 // the BGP arrival-order tie-breaker depends on — is reproducible.
 type Engine struct {
-	queue   eventQueue
-	now     time.Duration
-	nextSeq uint64
-	steps   uint64
+	queue    []*Event // 4-ary min-heap on (At, seq)
+	freeList *Event
+	now      time.Duration
+	nextSeq  uint64
+	steps    uint64
 }
 
 // Now returns the current virtual time.
@@ -45,7 +89,7 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule enqueues run to execute at absolute virtual time at. Scheduling in
 // the past (before Now) is an error in the model and panics: it would make
@@ -54,12 +98,35 @@ func (e *Engine) Schedule(at time.Duration, run func()) *Event {
 	if run == nil {
 		panic("netsim: Schedule with nil run")
 	}
+	ev := e.schedule(at)
+	ev.run = run
+	return ev
+}
+
+// ScheduleEvent enqueues a typed event for h at absolute virtual time at.
+// The payload is copied into pooled event storage, so the caller need not
+// keep p alive.
+func (e *Engine) ScheduleEvent(at time.Duration, h Handler, p Payload) *Event {
+	if h == nil {
+		panic("netsim: ScheduleEvent with nil handler")
+	}
+	ev := e.schedule(at)
+	ev.handler = h
+	ev.payload = p
+	return ev
+}
+
+// schedule validates at, takes an event from the pool, stamps it, and queues
+// it. The caller fills in the closure or handler.
+func (e *Engine) schedule(at time.Duration) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("netsim: Schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{At: at, Run: run, seq: e.nextSeq}
+	ev := e.alloc()
+	ev.At = at
+	ev.seq = e.nextSeq
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -71,26 +138,44 @@ func (e *Engine) After(d time.Duration, run func()) *Event {
 	return e.Schedule(e.now+d, run)
 }
 
+// AfterEvent enqueues a typed event for h to fire d after the current
+// virtual time.
+func (e *Engine) AfterEvent(d time.Duration, h Handler, p Payload) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: After with negative delay %v", d))
+	}
+	return e.ScheduleEvent(e.now+d, h, p)
+}
+
 // Cancel removes a scheduled event. Canceling an event that already fired or
-// was already canceled is a no-op and returns false.
+// was already canceled is a no-op and returns false. A handle must not be
+// canceled after its event fires if any schedule has happened since: the
+// engine reuses fired events, so a stale handle may by then name a different
+// pending event.
 func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.idx < 0 || ev.idx >= len(e.queue) || e.queue[ev.idx] != ev {
+	if ev == nil || ev.idx < 0 || int(ev.idx) >= len(e.queue) || e.queue[ev.idx] != ev {
 		return false
 	}
-	heap.Remove(&e.queue, ev.idx)
+	e.remove(int(ev.idx))
+	e.recycle(ev)
 	return true
 }
 
 // Step executes the next pending event, advancing virtual time to its
 // timestamp. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.pop()
 	e.now = ev.At
 	e.steps++
-	ev.Run()
+	if ev.run != nil {
+		ev.run()
+	} else {
+		ev.handler.HandleEvent(&ev.payload)
+	}
+	e.recycle(ev)
 	return true
 }
 
@@ -107,7 +192,7 @@ func (e *Engine) Run() uint64 {
 // after deadline remain queued.
 func (e *Engine) RunUntil(deadline time.Duration) uint64 {
 	start := e.steps
-	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -121,36 +206,137 @@ func (e *Engine) RunFor(d time.Duration) uint64 {
 	return e.RunUntil(e.now + d)
 }
 
-// eventQueue is a min-heap on (At, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+// Reset returns the engine to its initial state — empty queue, virtual time
+// zero, sequence and step counters zero — while keeping the queue's backing
+// array and the event free list, so a reused engine schedules without
+// allocating. Pending events are discarded (recycled, not fired).
+func (e *Engine) Reset() {
+	for i, ev := range e.queue {
+		e.queue[i] = nil
+		e.recycle(ev)
 	}
-	return q[i].seq < q[j].seq
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.nextSeq = 0
+	e.steps = 0
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
+// alloc takes an event from the free list, carving a fresh block when empty.
+func (e *Engine) alloc() *Event {
+	if e.freeList == nil {
+		block := make([]Event, eventBlock)
+		for i := range block {
+			block[i].idx = -1
+			block[i].free = e.freeList
+			e.freeList = &block[i]
+		}
+	}
+	ev := e.freeList
+	e.freeList = ev.free
+	ev.free = nil
 	return ev
+}
+
+// recycle clears an event's references (so pooled storage does not pin
+// closures, handlers, or AS paths) and pushes it on the free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.run = nil
+	ev.handler = nil
+	ev.payload = Payload{}
+	ev.idx = -1
+	ev.free = e.freeList
+	e.freeList = ev
+}
+
+// The queue is a hand-rolled 4-ary min-heap on (At, seq). Relative to
+// container/heap this removes the interface boxing per operation and halves
+// the tree depth; sift-down compares at most four children per level, all in
+// adjacent cache lines.
+const heapArity = 4
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.queue[i], e.queue[j] = e.queue[j], e.queue[i]
+	e.queue[i].idx = int32(i)
+	e.queue[j].idx = int32(j)
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.idx = int32(len(e.queue))
+	e.queue = append(e.queue, ev)
+	e.up(len(e.queue) - 1)
+}
+
+func (e *Engine) pop() *Event {
+	ev := e.queue[0]
+	last := len(e.queue) - 1
+	if last > 0 {
+		e.queue[0] = e.queue[last]
+		e.queue[0].idx = 0
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	ev.idx = -1
+	return ev
+}
+
+// remove deletes the event at queue position i (Cancel's path).
+func (e *Engine) remove(i int) {
+	last := len(e.queue) - 1
+	if i != last {
+		e.queue[i] = e.queue[last]
+		e.queue[i].idx = int32(i)
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if i < last {
+		e.down(i)
+		e.up(i)
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.less(i, parent) {
+			return
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.queue)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(c, min) {
+				min = c
+			}
+		}
+		if !e.less(min, i) {
+			return
+		}
+		e.swap(i, min)
+		i = min
+	}
 }

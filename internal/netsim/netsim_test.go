@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"anyopt/internal/topology"
 )
 
 func TestScheduleAndRunOrder(t *testing.T) {
@@ -230,6 +232,201 @@ func BenchmarkScheduleRun(b *testing.B) {
 		var e Engine
 		for j := 0; j < 1000; j++ {
 			e.Schedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		e.Run()
+	}
+}
+
+// recorder implements Handler, logging each payload it receives.
+type recorder struct {
+	at     []time.Duration
+	prefix []int32
+	dst    []topology.ASN
+	med    []int32
+	paths  [][]topology.ASN
+	engine *Engine
+}
+
+func (r *recorder) HandleEvent(p *Payload) {
+	r.at = append(r.at, r.engine.Now())
+	r.prefix = append(r.prefix, p.Prefix)
+	r.dst = append(r.dst, p.Dst)
+	r.med = append(r.med, p.MED)
+	// The payload is only valid during the call: copy the path out.
+	r.paths = append(r.paths, append([]topology.ASN(nil), p.Path...))
+}
+
+func TestTypedEventDispatch(t *testing.T) {
+	var e Engine
+	r := &recorder{engine: &e}
+	path := []topology.ASN{10, 20, 30}
+	e.ScheduleEvent(20*time.Millisecond, r, Payload{Prefix: 7, Dst: 42, MED: 5, Path: path})
+	e.AfterEvent(10*time.Millisecond, r, Payload{Prefix: 3, Dst: 99, MED: -1})
+	if n := e.Run(); n != 2 {
+		t.Fatalf("Run executed %d events, want 2", n)
+	}
+	if len(r.at) != 2 || r.at[0] != 10*time.Millisecond || r.at[1] != 20*time.Millisecond {
+		t.Fatalf("fire times = %v, want [10ms 20ms]", r.at)
+	}
+	if r.prefix[0] != 3 || r.dst[0] != 99 || r.med[0] != -1 || r.paths[0] != nil {
+		t.Errorf("first payload = prefix %d dst %d med %d path %v", r.prefix[0], r.dst[0], r.med[0], r.paths[0])
+	}
+	if r.prefix[1] != 7 || r.dst[1] != 42 || r.med[1] != 5 || len(r.paths[1]) != 3 {
+		t.Errorf("second payload = prefix %d dst %d med %d path %v", r.prefix[1], r.dst[1], r.med[1], r.paths[1])
+	}
+}
+
+func TestTypedAndClosureEventsShareOrdering(t *testing.T) {
+	var e Engine
+	r := &recorder{engine: &e}
+	var order []string
+	e.ScheduleEvent(time.Second, r, Payload{Prefix: 1})
+	e.Schedule(time.Second, func() { order = append(order, "closure") })
+	e.ScheduleEvent(time.Second, r, Payload{Prefix: 2})
+	e.Run()
+	// FIFO among equal timestamps must hold across both flavors: the typed
+	// event scheduled first fires first, the closure second, typed third.
+	if len(r.at) != 2 || len(order) != 1 {
+		t.Fatalf("dispatch counts: typed %d closure %d", len(r.at), len(order))
+	}
+	if r.prefix[0] != 1 || r.prefix[1] != 2 {
+		t.Fatalf("typed order = %v, want [1 2]", r.prefix)
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	e.ScheduleEvent(0, nil, Payload{})
+}
+
+func TestCancelTypedEvent(t *testing.T) {
+	var e Engine
+	r := &recorder{engine: &e}
+	ev := e.ScheduleEvent(time.Second, r, Payload{Prefix: 1})
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending typed event")
+	}
+	e.Run()
+	if len(r.at) != 0 {
+		t.Fatal("canceled typed event still dispatched")
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	var e Engine
+	r := &recorder{engine: &e}
+	// Warm the pool past its high-water mark.
+	for i := 0; i < 2*eventBlock; i++ {
+		e.ScheduleEvent(e.Now(), r, Payload{})
+	}
+	e.Run()
+	r.at, r.prefix, r.dst, r.med, r.paths = nil, nil, nil, nil, nil
+	h := noopHandler{}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < eventBlock; i++ {
+			e.AfterEvent(time.Duration(i)*time.Millisecond, h, Payload{Prefix: int32(i)})
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+run allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+type noopHandler struct{}
+
+func (noopHandler) HandleEvent(*Payload) {}
+
+func TestReset(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(2*time.Second, func() { fired++ })
+	e.Step()
+	e.Reset()
+	if fired != 1 {
+		t.Fatalf("fired = %d before Reset assertions, want 1", fired)
+	}
+	if e.Now() != 0 || e.Steps() != 0 || e.Pending() != 0 {
+		t.Fatalf("after Reset: Now=%v Steps=%d Pending=%d, want all zero", e.Now(), e.Steps(), e.Pending())
+	}
+	// The discarded pending event must not fire, and the reused engine must
+	// behave exactly like a fresh one: FIFO order restarts from sequence 0.
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("discarded event fired after Reset")
+	}
+	if !sort.IntsAreSorted(got) || len(got) != 10 {
+		t.Fatalf("post-Reset FIFO order broken: %v", got)
+	}
+	if e.Now() != time.Millisecond {
+		t.Errorf("post-Reset Now = %v, want 1ms", e.Now())
+	}
+}
+
+// Property: the 4-ary heap agrees with a sort-based oracle on arbitrary
+// interleavings of schedules and cancels.
+func TestPropertyHeapMatchesOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var e Engine
+		r := &recorder{engine: &e}
+		type planned struct {
+			at  time.Duration
+			seq int
+		}
+		var live []planned
+		var handles []*Event
+		seq := 0
+		for _, op := range ops {
+			if op%5 == 4 && len(handles) > 0 {
+				// Cancel a pending event chosen by the op value.
+				k := int(op/5) % len(handles)
+				if e.Cancel(handles[k]) {
+					live = append(live[:k], live[k+1:]...)
+					handles = append(handles[:k], handles[k+1:]...)
+				}
+				continue
+			}
+			at := time.Duration(op%97) * time.Millisecond
+			handles = append(handles, e.ScheduleEvent(at, r, Payload{Prefix: int32(seq)}))
+			live = append(live, planned{at, seq})
+			seq++
+		}
+		sort.SliceStable(live, func(i, j int) bool { return live[i].at < live[j].at })
+		e.Run()
+		if len(r.prefix) != len(live) {
+			return false
+		}
+		for i, p := range live {
+			if r.at[i] != p.at || r.prefix[i] != int32(p.seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRunTyped(b *testing.B) {
+	var e Engine
+	h := noopHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			e.ScheduleEvent(e.Now()+time.Duration(j%97)*time.Millisecond, h, Payload{Prefix: int32(j)})
 		}
 		e.Run()
 	}

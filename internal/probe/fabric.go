@@ -2,13 +2,11 @@ package probe
 
 import (
 	"fmt"
-	"net/netip"
 	"time"
 
 	"anyopt/internal/bgp"
 	"anyopt/internal/netproto"
 	"anyopt/internal/testbed"
-	"anyopt/internal/topology"
 )
 
 // SimFabric carries probe packets over the simulated Internet: requests leave
@@ -30,16 +28,19 @@ type SimFabric struct {
 	// tcpdump/Wireshark for debugging the measurement plane.
 	Capture *netproto.PcapWriter
 
-	targets map[netip.Addr]topology.Target
+	// Scratch reused across probes for reply assembly; a fabric serves one
+	// single-goroutine experiment. The returned reply aliases wireBuf,
+	// valid until the next Probe call.
+	echoBuf  []byte
+	innerBuf []byte
+	greBuf   []byte
+	wireBuf  []byte
 }
 
-// NewSimFabric builds a fabric for one prefix.
+// NewSimFabric builds a fabric for one prefix. Target lookup uses the
+// testbed's shared by-address index rather than a per-fabric copy.
 func NewSimFabric(tb *testbed.Testbed, sim *bgp.Sim, prefix bgp.PrefixID, noise *NoiseModel) *SimFabric {
-	targets := make(map[netip.Addr]topology.Target, len(tb.Topo.Targets))
-	for _, t := range tb.Topo.Targets {
-		targets[t.Addr] = t
-	}
-	return &SimFabric{TB: tb, Sim: sim, Prefix: prefix, Noise: noise, targets: targets}
+	return &SimFabric{TB: tb, Sim: sim, Prefix: prefix, Noise: noise}
 }
 
 // Probe implements Fabric.
@@ -54,21 +55,24 @@ func (f *SimFabric) Probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 	return resp, recvAt, err
 }
 
-// probe carries the packet over the simulated Internet.
+// probe carries the packet over the simulated Internet. Header structs stay
+// on the stack and payloads alias req, so the parse side allocates nothing.
 func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Duration, error) {
-	outer, payload, err := netproto.ParseIPv4(req)
+	var outer netproto.IPv4
+	payload, err := outer.Unmarshal(req)
 	if err != nil {
 		return nil, 0, fmt.Errorf("probe: malformed request: %w", err)
 	}
 
-	var inner *netproto.IPv4
+	var inner netproto.IPv4
 	var icmpBytes []byte
 	var fwdDelay time.Duration // orchestrator → target
 
 	switch outer.Protocol {
 	case netproto.ProtoGRE:
 		// RTT-mode probe: tunneled to a site, emitted there.
-		gre, ipPayload, err := netproto.ParseGRE(payload)
+		var gre netproto.GRE
+		ipPayload, err := gre.Unmarshal(payload)
 		if err != nil {
 			return nil, 0, fmt.Errorf("probe: request GRE: %w", err)
 		}
@@ -84,26 +88,28 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 			// so probing via it can never succeed.
 			return nil, 0, ErrUnreachable
 		}
-		inner, icmpBytes, err = netproto.ParseIPv4(ipPayload)
+		icmpBytes, err = inner.Unmarshal(ipPayload)
 		if err != nil {
 			return nil, 0, fmt.Errorf("probe: inner request: %w", err)
 		}
-		target, ok := f.targets[inner.Dst]
+		target, ok := f.TB.TargetByAddr(inner.Dst)
 		if !ok {
 			return nil, 0, fmt.Errorf("probe: unknown target %v", inner.Dst)
 		}
 		// Orchestrator → site over the tunnel, then site → target. The
 		// site→target leg mirrors the BGP return path of the reply.
-		ret, routed := f.Sim.Forward(f.Prefix, target)
-		if !routed || f.TB.SiteByLink(ret.EntryLink) == nil {
+		// CatchmentEntry is Forward on the memoized fast path — the AS path
+		// is never needed here.
+		entry, fwd, routed := f.Sim.CatchmentEntry(f.Prefix, target)
+		if !routed || f.TB.SiteByLink(entry) == nil {
 			return nil, 0, ErrUnreachable
 		}
-		fwdDelay = site.TunnelRTT/2 + ret.Delay
+		fwdDelay = site.TunnelRTT/2 + fwd
 
 	case netproto.ProtoICMP:
 		// Catchment-mode probe: sent directly toward the target.
 		inner, icmpBytes = outer, payload
-		target, ok := f.targets[inner.Dst]
+		target, ok := f.TB.TargetByAddr(inner.Dst)
 		if !ok {
 			return nil, 0, fmt.Errorf("probe: unknown target %v", inner.Dst)
 		}
@@ -114,14 +120,14 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 		return nil, 0, fmt.Errorf("probe: request protocol %d unsupported", outer.Protocol)
 	}
 
-	echo, err := netproto.ParseICMPEcho(icmpBytes)
-	if err != nil {
+	var echo netproto.ICMPEcho
+	if err := echo.Unmarshal(icmpBytes); err != nil {
 		return nil, 0, fmt.Errorf("probe: request ICMP: %w", err)
 	}
 	if echo.Type != netproto.ICMPEchoRequest {
 		return nil, 0, fmt.Errorf("probe: request ICMP type %d", echo.Type)
 	}
-	target := f.targets[inner.Dst]
+	target, _ := f.TB.TargetByAddr(inner.Dst)
 
 	// Request leg noise and loss.
 	fwdDelay, alive := f.noise(fwdDelay)
@@ -131,20 +137,20 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 
 	// The target replies to the anycast source; BGP routes it to the
 	// catchment site.
-	ret, ok := f.Sim.Forward(f.Prefix, target)
+	entryLink, retDelay0, ok := f.Sim.CatchmentEntry(f.Prefix, target)
 	if !ok {
 		return nil, 0, ErrUnreachable
 	}
-	site := f.TB.SiteByLink(ret.EntryLink)
+	site := f.TB.SiteByLink(entryLink)
 	if site == nil {
-		return nil, 0, fmt.Errorf("probe: reply entered over non-testbed link %d", ret.EntryLink)
+		return nil, 0, fmt.Errorf("probe: reply entered over non-testbed link %d", entryLink)
 	}
 	if f.Fault != nil && f.Fault.SiteDead(site.ID) {
 		// Blacked-out catchment site: the reply dies there instead of
 		// returning through the tunnel.
 		return nil, 0, ErrUnreachable
 	}
-	retDelay, alive := f.noise(ret.Delay)
+	retDelay, alive := f.noise(retDelay0)
 	if !alive {
 		return nil, 0, ErrLost
 	}
@@ -156,32 +162,37 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 
 	// Assemble the reply exactly as the site router would hand it up:
 	// IPv4(orch←site, GRE(key, IPv4(anycast←target, ICMP echo reply))).
-	replyInner := &netproto.IPv4{
+	// Built append-style into the fabric's scratch buffers; the echoed
+	// payload still aliases req, which stays alive through the copy.
+	reply := netproto.ICMPEcho{Type: netproto.ICMPEchoReply, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
+	f.echoBuf = reply.AppendMarshal(f.echoBuf[:0])
+	replyInner := netproto.IPv4{
 		TTL: 60, Protocol: netproto.ProtoICMP,
 		Src: inner.Dst, Dst: inner.Src,
 	}
-	innerPkt, err := replyInner.Marshal(echo.Reply().Marshal())
+	f.innerBuf, err = replyInner.AppendMarshal(f.innerBuf[:0], f.echoBuf)
 	if err != nil {
 		return nil, 0, err
 	}
-	ord := site.LinkOrdinal(ret.EntryLink)
+	ord := site.LinkOrdinal(entryLink)
 	if ord < 0 {
-		return nil, 0, fmt.Errorf("probe: entry link %d not registered at site %d", ret.EntryLink, site.ID)
+		return nil, 0, fmt.Errorf("probe: entry link %d not registered at site %d", entryLink, site.ID)
 	}
-	gre := &netproto.GRE{
+	gre := netproto.GRE{
 		Protocol:   netproto.EtherTypeIPv4,
 		KeyPresent: true,
 		Key:        testbed.EncodeTunnelKey(site.TunnelKey, ord),
 	}
-	replyOuter := &netproto.IPv4{
+	f.greBuf = gre.AppendMarshal(f.greBuf[:0], f.innerBuf)
+	replyOuter := netproto.IPv4{
 		TTL: 62, Protocol: netproto.ProtoGRE,
 		Src: site.TunnelAddr, Dst: f.TB.OrchAddr,
 	}
-	wirePkt, err := replyOuter.Marshal(gre.Marshal(innerPkt))
+	f.wireBuf, err = replyOuter.AppendMarshal(f.wireBuf[:0], f.greBuf)
 	if err != nil {
 		return nil, 0, err
 	}
-	return wirePkt, sentAt + fwdDelay + retDelay + tunnelBack, nil
+	return f.wireBuf, sentAt + fwdDelay + retDelay + tunnelBack, nil
 }
 
 // noise perturbs one traversal leg: injected fault loss first, then the

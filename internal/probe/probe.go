@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"sort"
 	"time"
 
@@ -79,6 +80,17 @@ type Prober struct {
 
 	// Sent and Received count probes for reporting.
 	Sent, Received uint64
+
+	// Scratch reused across probes: packets are built append-style and
+	// parsed with the zero-copy Unmarshal variants, so steady-state probing
+	// allocates nothing per packet. Probers are single-goroutine, like the
+	// experiments that own them.
+	tsBuf   [8]byte
+	echoBuf []byte
+	pktBuf  []byte
+	greBuf  []byte
+	reqBuf  []byte
+	samples []time.Duration
 }
 
 // New creates a prober. The virtual clock starts at start.
@@ -99,22 +111,32 @@ func New(fabric Fabric, cfg Config, start time.Duration) *Prober {
 func (p *Prober) Clock() time.Duration { return p.clock }
 
 // buildEcho constructs the inner IPv4(ICMP echo request) with the anycast
-// source address and a transmit timestamp.
+// source address and a transmit timestamp. The returned packet aliases the
+// prober's scratch buffer, valid until the next buildEcho call.
 func (p *Prober) buildEcho(dst netip.Addr) ([]byte, error) {
 	p.seq++
-	echo := &netproto.ICMPEcho{Type: netproto.ICMPEchoRequest, ID: p.id, Seq: p.seq}
+	echo := netproto.ICMPEcho{Type: netproto.ICMPEchoRequest, ID: p.id, Seq: p.seq, Payload: p.tsBuf[:]}
 	echo.EncodeTimestamp(p.clock)
-	inner := &netproto.IPv4{
+	p.echoBuf = echo.AppendMarshal(p.echoBuf[:0])
+	inner := netproto.IPv4{
 		TTL: 64, Protocol: netproto.ProtoICMP,
 		Src: p.cfg.AnycastAddr, Dst: dst,
 	}
-	return inner.Marshal(echo.Marshal())
+	var err error
+	p.pktBuf, err = inner.AppendMarshal(p.pktBuf[:0], p.echoBuf)
+	if err != nil {
+		return nil, err
+	}
+	return p.pktBuf, nil
 }
 
 // parseReply unwraps IPv4(GRE(IPv4(ICMP echo reply))) and returns the tunnel
 // key and the echoed timestamp.
 func (p *Prober) parseReply(resp []byte) (key uint32, ts time.Duration, err error) {
-	outer, grePayload, err := netproto.ParseIPv4(resp)
+	// Headers live on the stack and payloads alias resp: parsing a reply
+	// costs no allocations.
+	var outer netproto.IPv4
+	grePayload, err := outer.Unmarshal(resp)
 	if err != nil {
 		return 0, 0, fmt.Errorf("probe: outer header: %w", err)
 	}
@@ -124,22 +146,24 @@ func (p *Prober) parseReply(resp []byte) (key uint32, ts time.Duration, err erro
 	if outer.Dst != p.cfg.OrchAddr {
 		return 0, 0, fmt.Errorf("probe: reply delivered to %v, want orchestrator %v", outer.Dst, p.cfg.OrchAddr)
 	}
-	gre, ipPayload, err := netproto.ParseGRE(grePayload)
+	var gre netproto.GRE
+	ipPayload, err := gre.Unmarshal(grePayload)
 	if err != nil {
 		return 0, 0, fmt.Errorf("probe: GRE: %w", err)
 	}
 	if !gre.KeyPresent {
 		return 0, 0, fmt.Errorf("probe: reply tunnel carries no key")
 	}
-	inner, icmpBytes, err := netproto.ParseIPv4(ipPayload)
+	var inner netproto.IPv4
+	icmpBytes, err := inner.Unmarshal(ipPayload)
 	if err != nil {
 		return 0, 0, fmt.Errorf("probe: inner header: %w", err)
 	}
 	if inner.Dst != p.cfg.AnycastAddr {
 		return 0, 0, fmt.Errorf("probe: inner reply to %v, want anycast %v", inner.Dst, p.cfg.AnycastAddr)
 	}
-	echo, err := netproto.ParseICMPEcho(icmpBytes)
-	if err != nil {
+	var echo netproto.ICMPEcho
+	if err := echo.Unmarshal(icmpBytes); err != nil {
 		return 0, 0, fmt.Errorf("probe: ICMP: %w", err)
 	}
 	if echo.Type != netproto.ICMPEchoReply {
@@ -194,22 +218,24 @@ func (p *Prober) CatchmentRetry(dst netip.Addr, attempts int) (uint32, error) {
 // using the paper's methodology: tunnel the request to the site, echo a
 // timestamp, take the median of Attempts samples, subtract tunnelRTT.
 func (p *Prober) RTT(tunnelKey uint32, siteAddr netip.Addr, tunnelRTT time.Duration, dst netip.Addr) (time.Duration, error) {
-	var samples []time.Duration
+	p.samples = p.samples[:0]
 	var lastErr error
 	for i := 0; i < p.cfg.Attempts; i++ {
 		inner, err := p.buildEcho(dst)
 		if err != nil {
 			return 0, err
 		}
-		gre := &netproto.GRE{Protocol: netproto.EtherTypeIPv4, KeyPresent: true, Key: tunnelKey}
-		outer := &netproto.IPv4{
+		gre := netproto.GRE{Protocol: netproto.EtherTypeIPv4, KeyPresent: true, Key: tunnelKey}
+		outer := netproto.IPv4{
 			TTL: 64, Protocol: netproto.ProtoGRE,
 			Src: p.cfg.OrchAddr, Dst: siteAddr,
 		}
-		req, err := outer.Marshal(gre.Marshal(inner))
+		p.greBuf = gre.AppendMarshal(p.greBuf[:0], inner)
+		p.reqBuf, err = outer.AppendMarshal(p.reqBuf[:0], p.greBuf)
 		if err != nil {
 			return 0, err
 		}
+		req := p.reqBuf
 		p.Sent++
 		sentAt := p.clock
 		p.clock += p.cfg.Gap
@@ -230,15 +256,17 @@ func (p *Prober) RTT(tunnelKey uint32, siteAddr netip.Addr, tunnelRTT time.Durat
 			lastErr = err
 			continue
 		}
-		samples = append(samples, recvAt-ts)
+		p.samples = append(p.samples, recvAt-ts)
 	}
-	if len(samples) < p.cfg.MinValid {
+	if len(p.samples) < p.cfg.MinValid {
 		if lastErr == nil {
 			lastErr = ErrLost
 		}
-		return 0, fmt.Errorf("probe: only %d of %d samples valid: %w", len(samples), p.cfg.Attempts, lastErr)
+		return 0, fmt.Errorf("probe: only %d of %d samples valid: %w", len(p.samples), p.cfg.Attempts, lastErr)
 	}
-	rtt := median(samples) - tunnelRTT
+	// Median in place on the scratch slice; sample order is never reused.
+	slices.Sort(p.samples)
+	rtt := p.samples[(len(p.samples)-1)/2] - tunnelRTT
 	if rtt < 0 {
 		rtt = 0
 	}

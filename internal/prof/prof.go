@@ -1,0 +1,53 @@
+// Package prof wires the stdlib profilers into the repo's CLI binaries
+// behind -cpuprofile/-memprofile flags, so campaign hot spots can be
+// inspected with `go tool pprof` without ad-hoc instrumentation.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile and arranges for a heap profile to
+// be written to memFile when the returned stop function runs; either path
+// may be empty to skip that profile. Call stop via defer on the binary's
+// normal exit path — log.Fatal and os.Exit bypass defers and lose the
+// profiles, so profiled runs should end cleanly.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("prof: closing CPU profile: %w", err)
+			}
+		}
+		if memFile == "" {
+			return nil
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		// A GC first so the heap profile shows live retention, not the
+		// garbage of the last allocation burst.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("prof: writing heap profile: %w", err)
+		}
+		return f.Close()
+	}, nil
+}

@@ -92,6 +92,10 @@ type Testbed struct {
 
 	// linkSite maps origin-side links (transit and peering) back to sites.
 	linkSite map[topology.LinkID]*Site
+	// targetByAddr indexes measurement targets by address; built once here
+	// and shared by every measurement fabric over this testbed instead of
+	// being rebuilt per experiment.
+	targetByAddr map[netip.Addr]topology.Target
 }
 
 // Options configures testbed construction.
@@ -204,6 +208,10 @@ func New(topo *topology.Topology, opts Options) (*Testbed, error) {
 		}
 		tb.Sites = append(tb.Sites, site)
 	}
+	tb.targetByAddr = make(map[netip.Addr]topology.Target, len(topo.Targets))
+	for _, t := range topo.Targets {
+		tb.targetByAddr[t.Addr] = t
+	}
 	return tb, nil
 }
 
@@ -296,6 +304,12 @@ func (tb *Testbed) Site(id int) *Site {
 
 // SiteByLink maps an origin-side link to the site owning it, or nil.
 func (tb *Testbed) SiteByLink(id topology.LinkID) *Site { return tb.linkSite[id] }
+
+// TargetByAddr resolves a measurement target by its unicast address.
+func (tb *Testbed) TargetByAddr(a netip.Addr) (topology.Target, bool) {
+	t, ok := tb.targetByAddr[a]
+	return t, ok
+}
 
 // SiteByTunnelKey resolves a GRE tunnel key to its site, ignoring the
 // ingress-interface bits, or nil.
