@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fmt race invariants chaos bench bench-json check
+.PHONY: build test vet lint fmt race invariants chaos bench bench-json loadbench check
 
 build:
 	$(GO) build ./...
@@ -45,12 +45,23 @@ chaos:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# bench-json runs the two campaign-speed benchmarks and reduces them to a
-# checked-in JSON document (ns/op, B/op, allocs/op, experiments/s) so perf
+# bench-json runs the campaign-speed benchmarks plus the concurrent-API
+# benchmarks (at 1 and 8 procs, lock-free vs the serialized seed
+# architecture) and reduces them all to one checked-in JSON document so perf
 # changes are diffable across commits.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkDiscoveryCampaign|BenchmarkFig4aOrderFlip' \
-		-benchmem -json . | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	( $(GO) test -run xxx -bench 'BenchmarkDiscoveryCampaign|BenchmarkFig4aOrderFlip' \
+		-benchmem -json . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkPredictParallel|BenchmarkPredictSerialized|BenchmarkOptimizeParallel' \
+		-benchmem -json -cpu 1,8 ./internal/api/ ) \
+		| $(GO) run ./cmd/benchjson -out BENCH_6.json
+
+# loadbench runs the anyoptd load harness — predict QPS and latency
+# percentiles idle vs with a discovery job in flight — and records the
+# report next to the benchmark JSON.
+loadbench:
+	$(GO) run ./cmd/anyoptd -load -load-workers 8 -load-duration 3s -load-out LOADBENCH_6.json
+	@cat LOADBENCH_6.json
 
 # check is the CI gate: formatting, static analysis, the full suite, the
 # race pass, the invariant-audited BGP suite, and the chaos suite.

@@ -27,6 +27,7 @@ package anyopt
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"anyopt/internal/core/discovery"
@@ -75,12 +76,22 @@ func PaperScaleOptions() Options {
 }
 
 // System is an anycast network under AnyOpt management.
+//
+// A System is not safe for concurrent mutation: RunDiscovery, campaign
+// loading, and the Measure* methods drive shared campaign state. The read
+// side, however, is lock-free: every completed campaign is published as an
+// immutable Snapshot through an atomic pointer, and the prediction and
+// optimization methods operate on whatever snapshot is current. Concurrent
+// servers (internal/api) read snapshots directly and serialize only the
+// writers.
 type System struct {
 	Topo *topology.Topology
 	TB   *testbed.Testbed
 	Disc *discovery.Discovery
 
-	// Pred and RTT are populated by RunDiscovery.
+	// Pred and RTT are populated by RunDiscovery. They mirror the current
+	// Snapshot for single-threaded callers (CLIs, experiments); concurrent
+	// readers must go through CurrentSnapshot instead.
 	Pred *predict.Predictor
 	RTT  *discovery.RTTTable
 	// AnnOrder is the provider announcement order that maximizes clients
@@ -88,6 +99,42 @@ type System struct {
 	AnnOrder []prefs.Item
 
 	opts Options
+
+	// snap is the atomically-published campaign snapshot; gen numbers
+	// publications.
+	snap atomic.Pointer[Snapshot]
+	gen  atomic.Uint64
+}
+
+// Snapshot is an immutable view of one completed measurement campaign: the
+// two-level preference matrix, the singleton RTT table, and the chosen
+// announcement order, frozen at publication time together with the
+// campaign's accounting.
+//
+// A Snapshot is never mutated after InstallCampaign publishes it, and every
+// structure it references (Predictor, preference stores, RTT table) is
+// read-only after construction, so any number of goroutines may predict and
+// optimize against the same Snapshot with no locking. Campaign re-discovery
+// or import builds a fresh Snapshot and swaps the System's pointer —
+// copy-on-write at campaign granularity, which is the natural write unit: a
+// campaign is weeks of wall-clock experiments, a prediction is microseconds.
+type Snapshot struct {
+	// TB is the testbed the campaign measured (shared, immutable).
+	TB *testbed.Testbed
+	// Pred predicts catchments from the frozen preference matrix.
+	Pred *predict.Predictor
+	// RTT is the frozen singleton RTT table.
+	RTT *discovery.RTTTable
+	// AnnOrder is the frozen provider announcement order.
+	AnnOrder []prefs.Item
+	// Gen is the publication sequence number on the owning System (1 = first
+	// campaign). Exposed for cache invalidation and metrics.
+	Gen uint64
+	// Experiments is the number of BGP experiments the campaign consumed.
+	Experiments int
+	// Quarantined records sites the campaign pulled out as dead (ID →
+	// reason); nil for fault-free campaigns.
+	Quarantined map[int]string
 }
 
 // New builds the synthetic Internet and deploys the testbed on it.
@@ -117,36 +164,100 @@ func (s *System) RunDiscovery() error {
 	if err != nil {
 		return fmt.Errorf("anyopt: discovery: %w", err)
 	}
-	s.Pred, s.RTT = pred, rtt
 	order, _ := pred.Providers.BestAnnouncementOrder(7)
-	s.AnnOrder = order
+	s.InstallCampaign(pred, rtt, order, s.Disc.Experiments, s.Disc.Quarantined())
 	return nil
 }
 
+// InstallCampaign publishes campaign results as a fresh immutable Snapshot
+// and mirrors them into the System's legacy fields. It is the single write
+// point for campaign state: RunDiscovery, campaign import, and the API's
+// async discovery jobs all end here. Concurrent readers observe either the
+// previous snapshot or the new one, never a mix.
+//
+// Writers must be externally serialized (internal/api holds a writer lock);
+// readers need no coordination.
+func (s *System) InstallCampaign(pred *predict.Predictor, rtt *discovery.RTTTable, annOrder []prefs.Item, experiments int, quarantined map[int]string) *Snapshot {
+	snap := &Snapshot{
+		TB:          s.TB,
+		Pred:        pred,
+		RTT:         rtt,
+		AnnOrder:    append([]prefs.Item(nil), annOrder...),
+		Gen:         s.gen.Add(1),
+		Experiments: experiments,
+		Quarantined: quarantined,
+	}
+	s.Pred, s.RTT, s.AnnOrder = pred, rtt, snap.AnnOrder
+	s.snap.Store(snap)
+	return snap
+}
+
+// CurrentSnapshot returns the most recently published campaign snapshot, or
+// nil when no campaign has completed. Safe for any number of concurrent
+// callers; the returned snapshot never changes.
+func (s *System) CurrentSnapshot() *Snapshot { return s.snap.Load() }
+
+// Options returns the options the System was built with.
+func (s *System) Options() Options { return s.opts }
+
 // requireDiscovery guards methods that need RunDiscovery first.
-func (s *System) requireDiscovery() error {
-	if s.Pred == nil {
-		return fmt.Errorf("anyopt: RunDiscovery has not been executed")
+func (s *System) requireDiscovery() (*Snapshot, error) {
+	if snap := s.snap.Load(); snap != nil {
+		return snap, nil
+	}
+	return nil, fmt.Errorf("anyopt: RunDiscovery has not been executed")
+}
+
+// ValidateConfig rejects configurations that cannot name a deployment: empty
+// configs, out-of-range site IDs, and duplicate sites. It needs only the
+// testbed layout, so it works before discovery.
+func (s *System) ValidateConfig(cfg Config) error {
+	if len(cfg) == 0 {
+		return fmt.Errorf("anyopt: empty configuration")
+	}
+	seen := make(map[int]bool, len(cfg))
+	for _, id := range cfg {
+		if id < 1 || id > len(s.TB.Sites) || s.TB.Site(id) == nil {
+			return fmt.Errorf("anyopt: unknown site %d (testbed has sites 1..%d)", id, len(s.TB.Sites))
+		}
+		if seen[id] {
+			return fmt.Errorf("anyopt: duplicate site %d in configuration", id)
+		}
+		seen[id] = true
 	}
 	return nil
 }
 
 // PredictCatchments predicts each client's catchment site under cfg.
 func (s *System) PredictCatchments(cfg Config) (map[Client]int, error) {
-	if err := s.requireDiscovery(); err != nil {
+	snap, err := s.requireDiscovery()
+	if err != nil {
 		return nil, err
 	}
-	return s.Pred.All(cfg), nil
+	return snap.PredictCatchments(cfg), nil
 }
 
 // PredictMeanRTT predicts the mean client RTT of cfg and returns the number
 // of predictable clients.
 func (s *System) PredictMeanRTT(cfg Config) (time.Duration, int, error) {
-	if err := s.requireDiscovery(); err != nil {
+	snap, err := s.requireDiscovery()
+	if err != nil {
 		return 0, 0, err
 	}
-	mean, n := s.Pred.MeanRTT(cfg)
+	mean, n := snap.PredictMeanRTT(cfg)
 	return mean, n, nil
+}
+
+// PredictCatchments predicts each client's catchment site under cfg against
+// this snapshot's frozen preference matrix. Lock-free; safe concurrently.
+func (sn *Snapshot) PredictCatchments(cfg Config) map[Client]int {
+	return sn.Pred.All(cfg)
+}
+
+// PredictMeanRTT predicts the mean client RTT of cfg against this snapshot
+// and returns the number of predictable clients. Lock-free.
+func (sn *Snapshot) PredictMeanRTT(cfg Config) (time.Duration, int) {
+	return sn.Pred.MeanRTT(cfg)
 }
 
 // MeasureConfiguration deploys cfg on a fresh experiment and measures every
@@ -183,10 +294,18 @@ type OptimizeResult struct {
 // enumeration, mirroring the paper's offline time budget; 0 is unlimited.
 // Networks with more than 20 sites use local search automatically.
 func (s *System) Optimize(k, maxSubsets int) (OptimizeResult, error) {
-	if err := s.requireDiscovery(); err != nil {
+	snap, err := s.requireDiscovery()
+	if err != nil {
 		return OptimizeResult{}, err
 	}
-	in, clients := s.Pred.BuildInstance(s.AnnOrder)
+	return snap.Optimize(k, maxSubsets)
+}
+
+// Optimize is System.Optimize against this snapshot's frozen campaign. The
+// SPLPO instance is built fresh per call, so concurrent optimizations share
+// nothing but read-only campaign data.
+func (sn *Snapshot) Optimize(k, maxSubsets int) (OptimizeResult, error) {
+	in, clients := sn.Pred.BuildInstance(sn.AnnOrder)
 	opts := splpo.Options{ExactSize: k, MaxSubsets: maxSubsets}
 	var (
 		best      splpo.Assignment
@@ -204,7 +323,7 @@ func (s *System) Optimize(k, maxSubsets int) (OptimizeResult, error) {
 		return OptimizeResult{}, fmt.Errorf("anyopt: optimize: %w", err)
 	}
 	return OptimizeResult{
-		Config:           s.Pred.SubsetToConfig(best.Subset, s.AnnOrder),
+		Config:           sn.Pred.SubsetToConfig(best.Subset, sn.AnnOrder),
 		PredictedMean:    time.Duration(best.MeanCost * float64(time.Millisecond)),
 		SubsetsEvaluated: evaluated,
 		OrderableClients: len(clients),
@@ -215,24 +334,30 @@ func (s *System) Optimize(k, maxSubsets int) (OptimizeResult, error) {
 // sites — the operational case of §1's "regular maintenance": a site is
 // down, and the saved campaign re-optimizes the rest offline.
 func (s *System) OptimizeExcluding(k, maxSubsets int, exclude ...int) (OptimizeResult, error) {
-	if err := s.requireDiscovery(); err != nil {
+	snap, err := s.requireDiscovery()
+	if err != nil {
 		return OptimizeResult{}, err
 	}
+	return snap.OptimizeExcluding(k, maxSubsets, exclude...)
+}
+
+// OptimizeExcluding is System.OptimizeExcluding against this snapshot.
+func (sn *Snapshot) OptimizeExcluding(k, maxSubsets int, exclude ...int) (OptimizeResult, error) {
 	var forbidden uint64
 	for _, id := range exclude {
-		if id < 1 || id > len(s.TB.Sites) {
+		if id < 1 || id > len(sn.TB.Sites) {
 			return OptimizeResult{}, fmt.Errorf("anyopt: cannot exclude unknown site %d", id)
 		}
 		forbidden |= 1 << uint(id-1)
 	}
-	in, clients := s.Pred.BuildInstance(s.AnnOrder)
+	in, clients := sn.Pred.BuildInstance(sn.AnnOrder)
 	opts := splpo.Options{ExactSize: k, MaxSubsets: maxSubsets, ForbiddenMask: forbidden}
 	best, evaluated, err := splpo.Exhaustive(in, opts)
 	if err != nil {
 		return OptimizeResult{}, fmt.Errorf("anyopt: optimize excluding %v: %w", exclude, err)
 	}
 	return OptimizeResult{
-		Config:           s.Pred.SubsetToConfig(best.Subset, s.AnnOrder),
+		Config:           sn.Pred.SubsetToConfig(best.Subset, sn.AnnOrder),
 		PredictedMean:    time.Duration(best.MeanCost * float64(time.Millisecond)),
 		SubsetsEvaluated: evaluated,
 		OrderableClients: len(clients),
@@ -245,10 +370,16 @@ func (s *System) OptimizeExcluding(k, maxSubsets int, exclude ...int) (OptimizeR
 // site may absorb (site ID → capacity). Only feasible configurations — every
 // client served, no site over capacity — are considered.
 func (s *System) OptimizeLoadAware(k, maxSubsets int, loads map[Client]float64, caps map[int]float64) (OptimizeResult, error) {
-	if err := s.requireDiscovery(); err != nil {
+	snap, err := s.requireDiscovery()
+	if err != nil {
 		return OptimizeResult{}, err
 	}
-	in, clients := s.Pred.BuildInstanceWeighted(s.AnnOrder, loads, caps)
+	return snap.OptimizeLoadAware(k, maxSubsets, loads, caps)
+}
+
+// OptimizeLoadAware is System.OptimizeLoadAware against this snapshot.
+func (sn *Snapshot) OptimizeLoadAware(k, maxSubsets int, loads map[Client]float64, caps map[int]float64) (OptimizeResult, error) {
+	in, clients := sn.Pred.BuildInstanceWeighted(sn.AnnOrder, loads, caps)
 	opts := splpo.Options{ExactSize: k, MaxSubsets: maxSubsets, RequireFeasible: true}
 	var (
 		best      splpo.Assignment
@@ -266,7 +397,7 @@ func (s *System) OptimizeLoadAware(k, maxSubsets int, loads map[Client]float64, 
 		return OptimizeResult{}, fmt.Errorf("anyopt: load-aware optimize: %w", err)
 	}
 	return OptimizeResult{
-		Config:           s.Pred.SubsetToConfig(best.Subset, s.AnnOrder),
+		Config:           sn.Pred.SubsetToConfig(best.Subset, sn.AnnOrder),
 		PredictedMean:    time.Duration(best.MeanCost * float64(time.Millisecond)),
 		SubsetsEvaluated: evaluated,
 		OrderableClients: len(clients),
@@ -276,12 +407,17 @@ func (s *System) OptimizeLoadAware(k, maxSubsets int, loads map[Client]float64, 
 // PredictSiteLoads predicts the load each site absorbs under cfg, using the
 // given per-client demands (default 1).
 func (s *System) PredictSiteLoads(cfg Config, loads map[Client]float64) (map[int]float64, error) {
-	catch, err := s.PredictCatchments(cfg)
+	snap, err := s.requireDiscovery()
 	if err != nil {
 		return nil, err
 	}
+	return snap.PredictSiteLoads(cfg, loads), nil
+}
+
+// PredictSiteLoads is System.PredictSiteLoads against this snapshot.
+func (sn *Snapshot) PredictSiteLoads(cfg Config, loads map[Client]float64) map[int]float64 {
 	out := make(map[int]float64)
-	for c, site := range catch {
+	for c, site := range sn.PredictCatchments(cfg) {
 		l := 1.0
 		if loads != nil {
 			if v, ok := loads[c]; ok {
@@ -290,26 +426,33 @@ func (s *System) PredictSiteLoads(cfg Config, loads map[Client]float64) (map[int
 		}
 		out[site] += l
 	}
-	return out, nil
+	return out
 }
 
 // GreedyConfig returns the baseline configuration of the k sites with the
 // lowest mean unicast RTT (§5.3's "k-Greedy").
 func (s *System) GreedyConfig(k int) (Config, error) {
-	if err := s.requireDiscovery(); err != nil {
+	snap, err := s.requireDiscovery()
+	if err != nil {
 		return nil, err
 	}
-	in, _ := s.Pred.BuildInstance(s.AnnOrder)
+	return snap.GreedyConfig(k)
+}
+
+// GreedyConfig is System.GreedyConfig against this snapshot.
+func (sn *Snapshot) GreedyConfig(k int) (Config, error) {
+	in, _ := sn.Pred.BuildInstance(sn.AnnOrder)
 	a, err := splpo.GreedyByCost(in, k)
 	if err != nil {
 		return nil, err
 	}
-	return s.Pred.SubsetToConfig(a.Subset, s.AnnOrder), nil
+	return sn.Pred.SubsetToConfig(a.Subset, sn.AnnOrder), nil
 }
 
 // RandomConfig returns a uniformly random k-site configuration.
 func (s *System) RandomConfig(k int, rng *rand.Rand) (Config, error) {
-	if err := s.requireDiscovery(); err != nil {
+	snap, err := s.requireDiscovery()
+	if err != nil {
 		return nil, err
 	}
 	ids := rng.Perm(len(s.TB.Sites))[:k]
@@ -317,7 +460,7 @@ func (s *System) RandomConfig(k int, rng *rand.Rand) (Config, error) {
 	for _, i := range ids {
 		subset |= 1 << uint(i)
 	}
-	return s.Pred.SubsetToConfig(subset, s.AnnOrder), nil
+	return snap.Pred.SubsetToConfig(subset, snap.AnnOrder), nil
 }
 
 // AllSitesConfig returns the configuration enabling every site.

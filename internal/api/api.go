@@ -3,18 +3,26 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /v1/testbed                     testbed layout (Table 1)
-//	POST /v1/discover                    run the measurement campaign
-//	GET  /v1/predict?config=1,3,5        catchment + mean-RTT prediction
-//	GET  /v1/measure?config=1,3,5        deploy and measure (ground truth)
-//	GET  /v1/optimize?k=12&budget=0&exclude=2,7
-//	GET  /v1/schedule?sites=500&providers=20&prefixes=4
-//	GET  /v1/campaign                    export the campaign snapshot
-//	POST /v1/campaign                    import a campaign snapshot
+//	GET    /v1/testbed                     testbed layout (Table 1)
+//	POST   /v1/discover                    start an async discovery job (?wait=1 blocks)
+//	GET    /v1/jobs                        list discovery jobs
+//	GET    /v1/jobs/{id}                   job progress / result
+//	DELETE /v1/jobs/{id}                   cancel a running job
+//	GET    /v1/predict?config=1,3,5        catchment + mean-RTT prediction
+//	GET    /v1/measure?config=1,3,5        deploy and measure (ground truth)
+//	GET    /v1/optimize?k=12&budget=0&exclude=2,7
+//	GET    /v1/schedule?sites=500&providers=20&prefixes=4
+//	GET    /v1/campaign                    export the campaign snapshot
+//	POST   /v1/campaign                    import a campaign snapshot
+//	GET    /metrics                        Prometheus text-format metrics
 //
-// Discovery runs can take a while; they execute synchronously and the
-// server serializes all system access, so the API is safe for concurrent
-// clients without the System itself being thread-safe.
+// Concurrency model (DESIGN.md §10): the read path — predict, optimize,
+// measure, schedule, campaign export — takes no locks at all. Each request
+// loads the current immutable campaign Snapshot from an atomic pointer and
+// computes against it; measure requests additionally draw a private warm
+// discovery session from a session pool. Writers (discovery jobs, campaign
+// import) serialize among themselves on writeMu and publish a fresh snapshot
+// atomically, so a long-running discovery never blocks a prediction.
 package api
 
 import (
@@ -24,7 +32,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"anyopt"
 	"anyopt/internal/campaign"
@@ -34,26 +41,59 @@ import (
 
 // Server wraps a System with HTTP handlers.
 type Server struct {
-	mu  sync.Mutex
 	sys *anyopt.System
+
+	// writeMu serializes campaign writers: discovery jobs and campaign
+	// imports. Readers never touch it — they go through
+	// sys.CurrentSnapshot().
+	writeMu sync.Mutex
+
+	// sessions hands out warm per-request discovery sessions for /v1/measure.
+	sessions *sessionPool
+
+	// jobs tracks async discovery jobs.
+	jobs jobRegistry
+
+	// checkpointDir, when non-empty, enables ?checkpoint=name on discovery
+	// jobs: the job journals completed experiments to that file and a re-run
+	// after a crash resumes from it.
+	checkpointDir string
+
+	// metrics instruments every endpoint.
+	metrics *metrics
 }
 
 // NewServer builds a server around sys.
 func NewServer(sys *anyopt.System) *Server {
-	return &Server{sys: sys}
+	return &Server{
+		sys:      sys,
+		sessions: newSessionPool(sys),
+		metrics:  newMetrics(),
+	}
 }
+
+// SetCheckpointDir enables discovery-job checkpointing under dir (see
+// Server.checkpointDir). Call before serving.
+func (s *Server) SetCheckpointDir(dir string) { s.checkpointDir = dir }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/testbed", s.handleTestbed)
-	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
-	mux.HandleFunc("GET /v1/predict", s.handlePredict)
-	mux.HandleFunc("GET /v1/measure", s.handleMeasure)
-	mux.HandleFunc("GET /v1/optimize", s.handleOptimize)
-	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
-	mux.HandleFunc("GET /v1/campaign", s.handleCampaignExport)
-	mux.HandleFunc("POST /v1/campaign", s.handleCampaignImport)
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.instrument(name, h))
+	}
+	handle("GET /v1/testbed", "testbed", s.handleTestbed)
+	handle("POST /v1/discover", "discover", s.handleDiscover)
+	handle("GET /v1/jobs", "jobs", s.handleJobList)
+	handle("GET /v1/jobs/{id}", "jobs", s.handleJobGet)
+	handle("DELETE /v1/jobs/{id}", "jobs", s.handleJobCancel)
+	handle("GET /v1/predict", "predict", s.handlePredict)
+	handle("GET /v1/measure", "measure", s.handleMeasure)
+	handle("GET /v1/optimize", "optimize", s.handleOptimize)
+	handle("GET /v1/schedule", "schedule", s.handleSchedule)
+	handle("GET /v1/campaign", "campaign", s.handleCampaignExport)
+	handle("POST /v1/campaign", "campaign", s.handleCampaignImport)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -72,8 +112,10 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
 }
 
-// parseConfig reads the config query parameter.
-func parseConfig(r *http.Request) (anyopt.Config, error) {
+// parseConfig reads and validates the config query parameter: well-formed
+// integers naming distinct, existing sites. Garbage configurations are a 400
+// at the door, never an input to prediction.
+func (s *Server) parseConfig(r *http.Request) (anyopt.Config, error) {
 	raw := r.URL.Query().Get("config")
 	if raw == "" {
 		return nil, fmt.Errorf("missing config parameter")
@@ -85,6 +127,9 @@ func parseConfig(r *http.Request) (anyopt.Config, error) {
 			return nil, fmt.Errorf("bad site id %q", part)
 		}
 		cfg = append(cfg, id)
+	}
+	if err := s.sys.ValidateConfig(cfg); err != nil {
+		return nil, err
 	}
 	return cfg, nil
 }
@@ -101,6 +146,17 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+// snapshot returns the current campaign snapshot or writes the 409 that
+// tells the client to run discovery first.
+func (s *Server) snapshot(w http.ResponseWriter) (*anyopt.Snapshot, bool) {
+	snap := s.sys.CurrentSnapshot()
+	if snap == nil {
+		writeErr(w, http.StatusConflict, "anyopt: RunDiscovery has not been executed")
+		return nil, false
+	}
+	return snap, true
+}
+
 type siteJSON struct {
 	ID        int     `json:"id"`
 	City      string  `json:"city"`
@@ -110,9 +166,7 @@ type siteJSON struct {
 }
 
 func (s *Server) handleTestbed(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var sites []siteJSON
+	sites := make([]siteJSON, 0, len(s.sys.TB.Sites))
 	for _, site := range s.sys.TB.Sites {
 		sites = append(sites, siteJSON{
 			ID: site.ID, City: site.City, Transit: site.TransitName,
@@ -125,61 +179,46 @@ func (s *Server) handleTestbed(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := time.Now()
-	if err := s.sys.RunDiscovery(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "discovery: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"experiments": s.sys.Experiments(),
-		"probes":      s.sys.Disc.ProbesSent,
-		"elapsed_ms":  time.Since(start).Milliseconds(),
-		"ann_order":   s.sys.AnnOrder,
-	})
-}
-
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cfg, err := parseConfig(r)
+	cfg, err := s.parseConfig(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	catch, err := s.sys.PredictCatchments(cfg)
-	if err != nil {
-		writeErr(w, http.StatusConflict, "%v", err)
+	snap, ok := s.snapshot(w)
+	if !ok {
 		return
 	}
-	mean, n, err := s.sys.PredictMeanRTT(cfg)
-	if err != nil {
-		writeErr(w, http.StatusConflict, "%v", err)
-		return
-	}
+	writeJSON(w, http.StatusOK, predictResponse(snap, cfg))
+}
+
+// predictResponse computes the /v1/predict body against one snapshot. Split
+// out so the benchmark's serialized reference server produces byte-identical
+// responses from the same code.
+func predictResponse(snap *anyopt.Snapshot, cfg anyopt.Config) map[string]any {
+	catch := snap.PredictCatchments(cfg)
+	mean, n := snap.PredictMeanRTT(cfg)
 	perSite := map[string]int{}
 	for _, site := range catch {
 		perSite[strconv.Itoa(site)]++
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"config":        cfg,
 		"mean_rtt_ms":   float64(mean) / 1e6,
 		"predictable":   n,
 		"catchment_szs": perSite,
-	})
+	}
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cfg, err := parseConfig(r)
+	cfg, err := s.parseConfig(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	catch, rtts := s.sys.MeasureConfiguration(cfg)
+	sess := s.sessions.acquire()
+	catch, rtts := sess.Disc.RunConfigurationRTTs(cfg)
+	s.sessions.release(sess)
 	mean, n := predict.MeasuredMeanRTT(rtts)
 	perSite := map[string]int{}
 	for _, site := range catch {
@@ -194,8 +233,6 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	k, err := intParam(r, "k", 12)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -217,22 +254,37 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			exclude = append(exclude, id)
 		}
 	}
-	var res anyopt.OptimizeResult
-	if len(exclude) > 0 {
-		res, err = s.sys.OptimizeExcluding(k, budget, exclude...)
-	} else {
-		res, err = s.sys.Optimize(k, budget)
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
 	}
+	body, err := optimizeResponse(snap, k, budget, exclude)
 	if err != nil {
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, http.StatusOK, body)
+}
+
+// optimizeResponse computes the /v1/optimize body against one snapshot; see
+// predictResponse for why it is split out.
+func optimizeResponse(snap *anyopt.Snapshot, k, budget int, exclude []int) (map[string]any, error) {
+	var res anyopt.OptimizeResult
+	var err error
+	if len(exclude) > 0 {
+		res, err = snap.OptimizeExcluding(k, budget, exclude...)
+	} else {
+		res, err = snap.Optimize(k, budget)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
 		"config":            res.Config,
 		"predicted_mean_ms": float64(res.PredictedMean) / 1e6,
 		"subsets":           res.SubsetsEvaluated,
 		"orderable_clients": res.OrderableClients,
-	})
+	}, nil
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -262,17 +314,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCampaignExport(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := campaign.Save(w, s.sys); err != nil {
+	if err := campaign.SaveSnapshot(w, snap); err != nil {
 		writeErr(w, http.StatusConflict, "%v", err)
 	}
 }
 
 func (s *Server) handleCampaignImport(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if err := campaign.Load(r.Body, s.sys); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return

@@ -8,8 +8,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"anyopt"
+	"anyopt/internal/testbed"
+	"anyopt/internal/topology"
 )
 
 // testServer builds a server over a fresh (undiscovered) system.
@@ -196,6 +199,11 @@ func TestBadRequests(t *testing.T) {
 	cases := []string{
 		"/v1/predict",               // missing config
 		"/v1/predict?config=x",      // bad id
+		"/v1/predict?config=1,1",    // duplicate site
+		"/v1/predict?config=99",     // out-of-range site
+		"/v1/predict?config=0",      // out-of-range site (low)
+		"/v1/measure?config=4,4",    // duplicate site
+		"/v1/measure?config=-2",     // out-of-range site
 		"/v1/optimize?k=abc",        // bad k
 		"/v1/optimize?exclude=zz",   // bad exclude
 		"/v1/schedule?sites=banana", // bad int
@@ -216,9 +224,9 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-func TestDiscoverEndpoint(t *testing.T) {
+func TestDiscoverEndpointWait(t *testing.T) {
 	_, ts := testServer(t)
-	resp, err := http.Post(ts.URL+"/v1/discover", "application/json", nil)
+	resp, err := http.Post(ts.URL+"/v1/discover?wait=1", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,5 +239,182 @@ func TestDiscoverEndpoint(t *testing.T) {
 	}
 	if resp.StatusCode != 200 || got.Experiments == 0 {
 		t.Fatalf("discover: status %d, %+v", resp.StatusCode, got)
+	}
+}
+
+// pollJob polls the job until it leaves the running state.
+func pollJob(t *testing.T, ts *httptest.Server, id string) (state string, view map[string]any) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var got map[string]any
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &got); code != 200 {
+			t.Fatalf("job status %d", code)
+		}
+		state, _ = got["state"].(string)
+		if state != "running" {
+			return state, got
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s still running after deadline", id)
+	return "", nil
+}
+
+func TestDiscoverJobAsync(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/discover", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || accepted.JobID == "" {
+		t.Fatalf("discover accept: status %d %+v err %v", resp.StatusCode, accepted, err)
+	}
+
+	// The read path answers (with 409) while the job runs — it is not blocked.
+	if code := getJSON(t, ts.URL+"/v1/testbed", nil); code != 200 {
+		t.Errorf("testbed during job: status %d", code)
+	}
+
+	state, view := pollJob(t, ts, accepted.JobID)
+	if state != "done" {
+		t.Fatalf("job finished as %q: %+v", state, view)
+	}
+	result, _ := view["result"].(map[string]any)
+	if result == nil || result["experiments"].(float64) == 0 {
+		t.Fatalf("job result: %+v", view)
+	}
+	if gen := result["snapshot_gen"].(float64); gen != 1 {
+		t.Errorf("snapshot_gen = %v, want 1", gen)
+	}
+
+	// The completed campaign was published: predictions work now.
+	if code := getJSON(t, ts.URL+"/v1/predict?config=1,4", nil); code != 200 {
+		t.Errorf("predict after job: status %d", code)
+	}
+
+	// The job shows up in the listing.
+	var list struct {
+		Jobs []map[string]any `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != 200 || len(list.Jobs) != 1 {
+		t.Errorf("job list: %+v", list)
+	}
+}
+
+func TestDiscoverJobConflictAndCancel(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/discover", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("discover accept: status %d err %v", resp.StatusCode, err)
+	}
+
+	// A second concurrent campaign is refused while the first runs. The first
+	// may finish before we ask; both outcomes are legal, only 202 is not.
+	resp, err = http.Post(ts.URL+"/v1/discover", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		if state, _ := pollJob(t, ts, accepted.JobID); state == "running" {
+			t.Errorf("second job accepted while first still running")
+		}
+	}
+
+	// Cancellation: either it lands while running (job ends cancelled and no
+	// snapshot appears) or the job already finished (409).
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+accepted.JobID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	state, _ := pollJob(t, ts, accepted.JobID)
+	switch dresp.StatusCode {
+	case http.StatusOK:
+		if state != "cancelled" && state != "done" {
+			t.Errorf("after cancel, job state = %q", state)
+		}
+		if state == "cancelled" {
+			if code := getJSON(t, ts.URL+"/v1/predict?config=1,4", nil); code != http.StatusConflict {
+				t.Errorf("predict after cancelled job: status %d, want 409", code)
+			}
+		}
+	case http.StatusConflict:
+		if state != "done" {
+			t.Errorf("cancel refused but job state = %q", state)
+		}
+	default:
+		t.Errorf("cancel status %d", dresp.StatusCode)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+}
+
+func TestEmptyTestbedSitesIsArray(t *testing.T) {
+	srv := NewServer(&anyopt.System{
+		Topo: &topology.Topology{},
+		TB:   &testbed.Testbed{},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/testbed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("testbed: status %d err %v", resp.StatusCode, err)
+	}
+	if !bytes.Contains(body, []byte(`"sites":[]`)) {
+		t.Errorf("empty testbed sites not [] in %s", body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := discoveredServer(t)
+	if code := getJSON(t, ts.URL+"/v1/predict?config=1,4", nil); code != 200 {
+		t.Fatalf("predict: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("metrics: status %d err %v", resp.StatusCode, err)
+	}
+	for _, want := range []string{
+		`anyoptd_requests_total{endpoint="predict",code="2xx"}`,
+		`anyoptd_request_duration_seconds_bucket{endpoint="predict",le="+Inf"}`,
+		"anyoptd_snapshot_generation 1",
+		`anyoptd_sim_pool_acquires_total{outcome="hit"}`,
+		`anyoptd_discovery_jobs{state="running"} 0`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

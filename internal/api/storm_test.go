@@ -1,0 +1,148 @@
+package api
+
+// The concurrency contract test: a storm of parallel /v1/predict and
+// /v1/optimize requests, fired while a discovery job is republishing the
+// campaign, must produce responses byte-identical to the seed architecture —
+// every request serialized behind one mutex — on the same snapshot. Run
+// under -race this doubles as the data-race proof for the lock-free read
+// path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"anyopt"
+)
+
+// serializedHandler wraps h the way the seed server worked: one request at a
+// time, whole-server mutex. It is the byte-identity reference.
+func serializedHandler(h http.Handler) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func doRecorded(h http.Handler, method, target string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+	return rec
+}
+
+func TestStormPredictOptimizeDuringDiscoveryJob(t *testing.T) {
+	sys, err := anyopt.New(anyopt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sys)
+	h := srv.Handler()
+
+	// Read-path request mix: predictions over several configurations plus a
+	// budgeted optimization. The budget keeps one optimize cheap enough to
+	// hammer; determinism does not depend on it.
+	urls := []string{
+		"/v1/predict?config=1,4,6",
+		"/v1/predict?config=2,3,5,7",
+		"/v1/predict?config=1,2,3,4,5,6,7,8",
+		"/v1/predict?config=15,14,13",
+		"/v1/optimize?k=6&budget=200",
+		"/v1/optimize?k=4&budget=200&exclude=3",
+	}
+
+	// Expected bytes come from the serialized reference on the current
+	// snapshot, before the storm starts.
+	ref := serializedHandler(h)
+	want := make(map[string][]byte, len(urls))
+	for _, u := range urls {
+		rec := doRecorded(ref, http.MethodGet, u)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("reference %s: status %d", u, rec.Code)
+		}
+		want[u] = rec.Body.Bytes()
+	}
+
+	// Kick off a discovery job mid-storm. Its fresh Discovery session replays
+	// the same deterministic nonce schedule from zero, so the snapshot it
+	// publishes is identical to the current one — responses must not change
+	// even across the atomic swap.
+	rec := doRecorded(h, http.MethodPost, "/v1/discover")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("discover: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 40
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				u := urls[(w+i)%len(urls)]
+				rec := doRecorded(h, http.MethodGet, u)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("storm %s: status %d body %s", u, rec.Code, rec.Body.String())
+					return
+				}
+				if !bytes.Equal(rec.Body.Bytes(), want[u]) {
+					errs <- fmt.Errorf("storm %s: response diverged from serialized reference\n got: %s\nwant: %s",
+						u, rec.Body.Bytes(), want[u])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Drain the job and re-check: the republished snapshot serves the same
+	// bytes.
+	deadlineLoop := 0
+	for {
+		rec := doRecorded(h, http.MethodGet, "/v1/jobs/"+accepted.JobID)
+		var got struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.State != "running" {
+			if got.State != "done" {
+				t.Fatalf("job finished as %q", got.State)
+			}
+			break
+		}
+		if deadlineLoop++; deadlineLoop > 100000 {
+			t.Fatal("job never finished")
+		}
+	}
+	if gen := sys.CurrentSnapshot().Gen; gen != 2 {
+		t.Fatalf("snapshot generation = %d, want 2 after republication", gen)
+	}
+	for _, u := range urls {
+		rec := doRecorded(h, http.MethodGet, u)
+		if !bytes.Equal(rec.Body.Bytes(), want[u]) {
+			t.Errorf("%s: response changed after republication\n got: %s\nwant: %s", u, rec.Body.Bytes(), want[u])
+		}
+	}
+}

@@ -69,22 +69,36 @@ func restoreStore(d storeDump) (*prefs.Store, error) {
 // Save writes sys's discovery results to w. RunDiscovery must have been
 // executed.
 func Save(w io.Writer, sys *anyopt.System) error {
-	if sys.Pred == nil {
+	sn := sys.CurrentSnapshot()
+	if sn == nil {
 		return fmt.Errorf("campaign: system has no discovery results to save")
 	}
+	// Quarantine is live Discovery state: operators may pull a site after the
+	// campaign snapshot was published. The System-level Save captures the
+	// current view; SaveSnapshot alone freezes the snapshot's own record.
+	view := *sn
+	view.Quarantined = sys.Disc.Quarantined()
+	return SaveSnapshot(w, &view)
+}
+
+// SaveSnapshot writes one immutable campaign snapshot to w. Because a
+// snapshot is frozen at publication, this is safe to call from any number of
+// goroutines — including concurrently with a discovery job publishing its
+// successor.
+func SaveSnapshot(w io.Writer, sn *anyopt.Snapshot) error {
 	snap := Snapshot{
 		Version:         FormatVersion,
-		Sites:           len(sys.TB.Sites),
-		UseRTTHeuristic: sys.Pred.UseRTTHeuristic,
-		AnnOrder:        sys.AnnOrder,
-		Providers:       dumpStore(sys.Pred.Providers),
-		RTT:             sys.RTT.Export(),
-		Experiments:     sys.Disc.Experiments,
-		Quarantined:     sys.Disc.Quarantined(),
+		Sites:           len(sn.TB.Sites),
+		UseRTTHeuristic: sn.Pred.UseRTTHeuristic,
+		AnnOrder:        sn.AnnOrder,
+		Providers:       dumpStore(sn.Pred.Providers),
+		RTT:             sn.RTT.Export(),
+		Experiments:     sn.Experiments,
+		Quarantined:     sn.Quarantined,
 	}
-	if len(sys.Pred.Sites) > 0 {
-		snap.SiteStores = make(map[topology.ASN]storeDump, len(sys.Pred.Sites))
-		for prov, st := range sys.Pred.Sites {
+	if len(sn.Pred.Sites) > 0 {
+		snap.SiteStores = make(map[topology.ASN]storeDump, len(sn.Pred.Sites))
+		for prov, st := range sn.Pred.Sites {
 			if st != nil {
 				snap.SiteStores[prov] = dumpStore(st)
 			}
@@ -97,7 +111,8 @@ func Save(w io.Writer, sys *anyopt.System) error {
 
 // Load restores discovery results from r into sys, replacing any previous
 // campaign. The testbed must structurally match the one that produced the
-// snapshot.
+// snapshot. On success the restored campaign is atomically published as
+// sys's current snapshot, so lock-free readers see it immediately.
 func Load(r io.Reader, sys *anyopt.System) error {
 	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -122,15 +137,14 @@ func Load(r io.Reader, sys *anyopt.System) error {
 		siteStores[prov] = st
 	}
 	rtt := discovery.ImportRTTTable(snap.RTT)
-	sys.Pred = &predict.Predictor{
+	pred := &predict.Predictor{
 		TB:              sys.TB,
 		Providers:       providers,
 		Sites:           siteStores,
 		RTT:             rtt,
 		UseRTTHeuristic: snap.UseRTTHeuristic,
 	}
-	sys.RTT = rtt
-	sys.AnnOrder = snap.AnnOrder
 	sys.Disc.RestoreQuarantine(snap.Quarantined)
+	sys.InstallCampaign(pred, rtt, snap.AnnOrder, snap.Experiments, snap.Quarantined)
 	return nil
 }

@@ -24,9 +24,11 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anyopt/internal/bgp"
@@ -108,6 +110,23 @@ type Discovery struct {
 	nonce uint64
 	pool  *exec.Pool
 
+	// ctx, when set, parents every batch: cancelling it stops queued
+	// experiments at the next batch boundary (in-flight ones finish). Nil
+	// means context.Background — the campaign runs to completion.
+	ctx context.Context
+
+	// completed counts experiments finished so far, including checkpoint
+	// replays. Unlike Experiments (bumped once per batch on the caller's
+	// goroutine), completed advances from worker goroutines as results land,
+	// so progress reporters may read it concurrently via
+	// CompletedExperiments.
+	completed atomic.Uint64
+
+	// poolHits / poolMisses count warm-session reuse in acquireSim: a hit
+	// recycles a converged simulator through Sim.Reset, a miss constructs a
+	// fresh one. Exposed through SimPoolStats for the /metrics endpoint.
+	poolHits, poolMisses atomic.Uint64
+
 	// simPool recycles converged simulators across experiments: Sim.Reset
 	// clears a session in place, so workers reuse warm topology-sized state
 	// (maps, slabs, arenas, the event pool) instead of reallocating it for
@@ -143,6 +162,31 @@ func (d *Discovery) SetWorkers(n int) { d.pool = exec.New(n) }
 
 // Workers returns the executor's worker count.
 func (d *Discovery) Workers() int { return d.pool.Workers() }
+
+// SetContext parents every subsequent batch on ctx: cancelling it drains the
+// queue (in-flight experiments finish, queued ones never start) and surfaces
+// ctx's error through Err. Install it before the campaign starts; nil
+// restores the default context.Background. This is how async discovery jobs
+// make a running campaign cancellable without polluting every batch API with
+// a context parameter.
+func (d *Discovery) SetContext(ctx context.Context) { d.ctx = ctx }
+
+// SeedNonces moves the campaign nonce counter to base. Distinct Discovery
+// sessions serving concurrent ad-hoc measurements seed disjoint ranges so
+// their experiments draw distinct jitter nonces; a campaign that must replay
+// a checkpoint byte-identically keeps the default schedule (fresh Discovery,
+// nonces from zero) instead.
+func (d *Discovery) SeedNonces(base uint64) { d.nonce = base }
+
+// CompletedExperiments returns the number of experiments finished so far,
+// advancing while a batch is in flight. Safe to call from any goroutine.
+func (d *Discovery) CompletedExperiments() uint64 { return d.completed.Load() }
+
+// SimPoolStats returns how many experiments recycled a warm simulator (hits)
+// versus constructing a fresh one (misses). Safe to call from any goroutine.
+func (d *Discovery) SimPoolStats() (hits, misses uint64) {
+	return d.poolHits.Load(), d.poolMisses.Load()
+}
 
 // Exp is the context of one experiment attempt inside a batch: the jitter
 // nonce fixed at submission time, a private probe counter, and — when fault
@@ -203,9 +247,11 @@ func (d *Discovery) acquireSim(cfg bgp.Config) *bgp.Sim {
 		if v := d.simPool.Get(); v != nil {
 			sim := v.(*bgp.Sim)
 			sim.Reset(cfg)
+			d.poolHits.Add(1)
 			return sim
 		}
 	}
+	d.poolMisses.Add(1)
 	return bgp.New(d.TB.Topo, cfg)
 }
 

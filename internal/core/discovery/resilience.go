@@ -134,7 +134,11 @@ func runBatch[T any](d *Discovery, kind string, n int, run func(e *Exp, i int) T
 		exps[i] = &Exp{d: d, nonce: d.nonce}
 	}
 	out := make([]T, n)
-	ctx, cancel := context.WithCancel(context.Background())
+	parent := d.ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	err := d.pool.ForEachCtx(ctx, n, func(ctx context.Context, i int) error {
 		v, err := runExperiment(d, exps[i], kind, i, run)
@@ -142,6 +146,7 @@ func runBatch[T any](d *Discovery, kind string, n int, run func(e *Exp, i int) T
 			return err
 		}
 		out[i] = v
+		d.completed.Add(1)
 		return nil
 	})
 	if err != nil && d.runErr == nil {

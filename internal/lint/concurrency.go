@@ -6,10 +6,13 @@ import (
 	"go/types"
 )
 
-// checkNoGo bans `go` statements. In simulator packages every goroutine is a
-// scheduling dependency the determinism proof cannot see; parallelism is the
-// exclusive business of internal/exec's worker pool, which assigns all
-// inputs before any work is scheduled.
+// checkNoGo bans `go` statements outside the policy table's designated
+// goroutine owners. In simulator packages every goroutine is a scheduling
+// dependency the determinism proof cannot see; everywhere else an ad-hoc
+// goroutine is concurrency the snapshot model does not account for.
+// Parallelism routes through internal/exec's worker pool, which assigns all
+// inputs before any work is scheduled; background work belongs to the
+// explicit owners (exec, bgp/speaker, orchestrator, api).
 func checkNoGo(pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
@@ -18,7 +21,7 @@ func checkNoGo(pkg *Package) []Diagnostic {
 				diags = append(diags, Diagnostic{
 					Pos:     pkg.Fset.Position(g.Pos()),
 					Check:   "nogo",
-					Message: "go statement in a simulator package; route parallelism through internal/exec's worker pool",
+					Message: "go statement outside a designated goroutine owner; route parallelism through internal/exec's worker pool",
 				})
 			}
 			return true

@@ -149,7 +149,7 @@ func TestPolicyResolution(t *testing.T) {
 		{"anyopt/internal/analysis", baseline},
 		{"anyopt/internal/bgp", simPure},
 		{"anyopt/internal/bgp/wire", simPure},
-		{"anyopt/internal/bgp/speaker", baseline},
+		{"anyopt/internal/bgp/speaker", goOwner},
 		{"anyopt/internal/bgp/invariant", simPure},
 		{"anyopt/internal/netsim", simPure},
 		{"anyopt/internal/topology", sim},
@@ -158,8 +158,11 @@ func TestPolicyResolution(t *testing.T) {
 		{"anyopt/internal/core/splpo", sim},
 		{"anyopt/internal/probe", sim},
 		{"anyopt/internal/fault", sim},
-		{"anyopt/internal/exec", baseline},
+		{"anyopt/internal/exec", goOwner},
+		{"anyopt/internal/orchestrator", goOwner},
+		{"anyopt/internal/api", goOwner},
 		{"anyopt/cmd/anyopt", baseline},
+		{"anyopt/cmd/anyoptd", baseline},
 		{"github.com/elsewhere/pkg", Policy{}},
 	}
 	for _, c := range cases {

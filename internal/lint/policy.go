@@ -20,9 +20,17 @@ type PolicyRule struct {
 }
 
 // baseline applies module-wide: map iteration order must never leak into
-// outputs, and sync primitives must never be copied. Goroutines and wall
-// clocks are fine outside the simulator.
-var baseline = Policy{MapOrder: true, CopyLocks: true}
+// outputs, sync primitives must never be copied, and goroutines belong only
+// to the packages explicitly granted goOwner below — everything else routes
+// parallelism through internal/exec. Wall clocks are fine outside the
+// simulator.
+var baseline = Policy{MapOrder: true, CopyLocks: true, NoGo: true}
+
+// goOwner relaxes baseline for the sanctioned goroutine owners: the worker
+// pool itself, the real-network BGP speaker (hold timers over TCP), the
+// orchestrator's concurrent servers, and the API's async discovery job
+// runner.
+var goOwner = Policy{MapOrder: true, CopyLocks: true}
 
 // sim is the full determinism contract for simulator packages: everything in
 // baseline, plus no entropy except through seeded sources, and no goroutines
@@ -64,14 +72,22 @@ var DefaultPolicies = []PolicyRule{
 
 	// The real-network BGP speaker runs hold timers and read deadlines over
 	// TCP sessions; wall clock and goroutines are inherent to it. It still
-	// gets the baseline checks.
-	{"anyopt/internal/bgp/speaker", baseline},
+	// gets the map-order and copylocks checks.
+	{"anyopt/internal/bgp/speaker", goOwner},
 
-	// The worker pool is the one place goroutines are allowed; it is also
-	// outside the sim's entropy contract (it reads only worker counts) — and
-	// it is where retry/timeout sleeps live, since sim packages cannot call
+	// The worker pool is the canonical goroutine owner; it is also outside
+	// the sim's entropy contract (it reads only worker counts) — and it is
+	// where retry/timeout sleeps live, since sim packages cannot call
 	// time.Sleep.
-	{"anyopt/internal/exec", baseline},
+	{"anyopt/internal/exec", goOwner},
+
+	// The orchestrator serves concurrent measurement agents over real
+	// sockets.
+	{"anyopt/internal/orchestrator", goOwner},
+
+	// The HTTP API runs async discovery jobs in the background so campaigns
+	// never block the lock-free read path; the job runner is its goroutine.
+	{"anyopt/internal/api", goOwner},
 }
 
 // PolicyFor resolves the policy for an import path: the longest matching

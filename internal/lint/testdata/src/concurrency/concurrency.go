@@ -55,5 +55,5 @@ func passes(g *guarded) int {
 }
 
 func spawn(fn func()) {
-	go fn() // want "go statement in a simulator package"
+	go fn() // want "go statement outside a designated goroutine owner"
 }
