@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fmt race invariants chaos bench bench-json loadbench check
+.PHONY: build test vet lint lint-json escape-baseline fmt race invariants chaos bench bench-json loadbench check
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs anyoptlint (internal/lint), the repo's own determinism analyzer,
-# over the default build and again with the invariants hooks compiled in.
+# lint runs anyoptlint (internal/lint), the repo's own invariant analyzer:
+# one process covers the default build and the invariants-tagged variant
+# (sharing the module load), plus the escape-analysis allocation gate over
+# the hot-path packages against the checked-in baseline.
 lint:
-	$(GO) run ./cmd/anyoptlint ./...
-	$(GO) run ./cmd/anyoptlint -tags invariants ./...
+	$(GO) run ./cmd/anyoptlint -tags '' -tags invariants \
+		-escape lint/escape_baseline.txt ./...
+
+# lint-json is lint with the machine-readable report on stdout, for CI
+# annotation tooling.
+lint-json:
+	$(GO) run ./cmd/anyoptlint -tags '' -tags invariants \
+		-escape lint/escape_baseline.txt -json ./...
+
+# escape-baseline regenerates lint/escape_baseline.txt from the current tree
+# after a deliberate allocation change. Review the diff before committing.
+escape-baseline:
+	$(GO) run ./cmd/anyoptlint -escape lint/escape_baseline.txt -escape-write
 
 # fmt fails if any file is not gofmt-clean.
 fmt:

@@ -26,6 +26,7 @@ package anyopt
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -185,7 +186,7 @@ func (s *System) InstallCampaign(pred *predict.Predictor, rtt *discovery.RTTTabl
 		AnnOrder:    append([]prefs.Item(nil), annOrder...),
 		Gen:         s.gen.Add(1),
 		Experiments: experiments,
-		Quarantined: quarantined,
+		Quarantined: maps.Clone(quarantined),
 	}
 	s.Pred, s.RTT, s.AnnOrder = pred, rtt, snap.AnnOrder
 	s.snap.Store(snap)

@@ -285,7 +285,7 @@ func (s *Server) runDiscoverJob(j *job) {
 		Experiments: j.disc.Experiments,
 		Probes:      j.disc.ProbesSent,
 		ElapsedMS:   time.Since(j.start).Milliseconds(),
-		AnnOrder:    snap.AnnOrder,
+		AnnOrder:    append([]prefs.Item(nil), snap.AnnOrder...),
 		SnapshotGen: snap.Gen,
 	})
 }

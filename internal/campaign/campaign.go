@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 
 	"anyopt"
 	"anyopt/internal/core/discovery"
@@ -77,6 +78,7 @@ func Save(w io.Writer, sys *anyopt.System) error {
 	// campaign snapshot was published. The System-level Save captures the
 	// current view; SaveSnapshot alone freezes the snapshot's own record.
 	view := *sn
+	//lint:mutinvariant view is a private struct copy; the published snapshot is untouched
 	view.Quarantined = sys.Disc.Quarantined()
 	return SaveSnapshot(w, &view)
 }
@@ -90,11 +92,11 @@ func SaveSnapshot(w io.Writer, sn *anyopt.Snapshot) error {
 		Version:         FormatVersion,
 		Sites:           len(sn.TB.Sites),
 		UseRTTHeuristic: sn.Pred.UseRTTHeuristic,
-		AnnOrder:        sn.AnnOrder,
+		AnnOrder:        append([]prefs.Item(nil), sn.AnnOrder...),
 		Providers:       dumpStore(sn.Pred.Providers),
 		RTT:             sn.RTT.Export(),
 		Experiments:     sn.Experiments,
-		Quarantined:     sn.Quarantined,
+		Quarantined:     maps.Clone(sn.Quarantined),
 	}
 	if len(sn.Pred.Sites) > 0 {
 		snap.SiteStores = make(map[topology.ASN]storeDump, len(sn.Pred.Sites))

@@ -1,0 +1,16 @@
+// Package escapee is the allocation gate's self-test fixture: one function
+// with a guaranteed heap escape and one that stays on the stack.
+package escapee
+
+// Box forces its argument to the heap: the pointer outlives the frame.
+func Box(v int) *int {
+	return &v
+}
+
+// stackOnly must produce no escape diagnostics.
+func stackOnly(v int) int {
+	x := v * 2
+	return x + 1
+}
+
+var _ = stackOnly

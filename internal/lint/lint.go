@@ -22,14 +22,29 @@
 //   - nogo: no `go` statement in simulator packages — concurrency is the
 //     exclusive business of internal/exec's worker pool, which guarantees
 //     scheduling cannot leak into results.
+//   - snapimmut: no write to — or mutable alias leaked from — an immutable
+//     campaign snapshot outside its sanctioned writers. The lock-free serving
+//     path reads snapshots with no coordination at all; this check is what
+//     makes that sound at compile time instead of by storm-test luck.
+//     Suppressible with `//lint:mutinvariant <reason>`.
+//   - atomicuse: sync/atomic fields are touched only through their
+//     Load/Store/Add methods, and guarded fields (System.snap) mutate only
+//     inside their sanctioned write points.
+//
+// The sibling package internal/lint/escape adds the allocation gate: a
+// compiler-driven escape-analysis pass over the hot-path packages, diffed
+// against a checked-in baseline, so the zero-allocation event engine cannot
+// silently regain heap traffic.
 //
 // Which checks apply to which package is driven by the policy table in
 // policy.go.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
+	"io"
 	"sort"
 )
 
@@ -38,7 +53,7 @@ type Diagnostic struct {
 	// Pos locates the finding.
 	Pos token.Position
 	// Check names the check that produced it (maporder, entropy, copylocks,
-	// nogo).
+	// nogo, snapimmut, atomicuse, escape).
 	Check string
 	// Message describes the violation.
 	Message string
@@ -48,10 +63,60 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Check)
 }
 
+// diagnosticJSON is the machine-readable rendering of one Diagnostic, shaped
+// for CI line annotators.
+type diagnosticJSON struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// Report is the machine-readable result of one lint run, emitted by
+// anyoptlint -json.
+type Report struct {
+	// Findings lists every diagnostic in position order.
+	Findings []diagnosticJSON `json:"findings"`
+	// Packages counts packages analyzed; FindingPackages counts packages
+	// with at least one finding.
+	Packages        int `json:"packages"`
+	FindingPackages int `json:"finding_packages"`
+}
+
+// NewReport assembles the JSON report for diags over analyzed packages.
+func NewReport(diags []Diagnostic, packages, findingPackages int) Report {
+	rep := Report{
+		Findings:        make([]diagnosticJSON, 0, len(diags)),
+		Packages:        packages,
+		FindingPackages: findingPackages,
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, diagnosticJSON{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Check: d.Check, Message: d.Message,
+		})
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
 // Runner applies a policy table to loaded packages.
 type Runner struct {
 	// Policies maps packages to enabled checks; nil selects DefaultPolicies.
 	Policies []PolicyRule
+	// SnapshotRules configures the snapimmut check; nil selects
+	// DefaultSnapshotRules.
+	SnapshotRules []SnapshotRule
+	// AtomicGuards configures the atomicuse writer sets; nil selects
+	// DefaultAtomicGuards.
+	AtomicGuards []AtomicGuard
 }
 
 // Run analyzes pkgs and returns all diagnostics sorted by position.
@@ -60,24 +125,70 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 	if rules == nil {
 		rules = DefaultPolicies
 	}
+	snapRules := r.SnapshotRules
+	if snapRules == nil {
+		snapRules = DefaultSnapshotRules
+	}
+	guards := r.AtomicGuards
+	if guards == nil {
+		guards = DefaultAtomicGuards
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		p := PolicyFor(rules, pkg.Path)
-		ann := collectAnnotations(pkg)
-		diags = append(diags, ann.diags...)
-		if p.MapOrder {
-			diags = append(diags, checkMapOrder(pkg, ann)...)
-		}
-		if p.Entropy {
-			diags = append(diags, checkEntropy(pkg, p.NoRand)...)
-		}
-		if p.CopyLocks {
-			diags = append(diags, checkCopyLocks(pkg)...)
-		}
-		if p.NoGo {
-			diags = append(diags, checkNoGo(pkg)...)
-		}
+		diags = append(diags, r.runPackage(pkg, rules, snapRules, guards)...)
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runPackage analyzes one package under the resolved configuration.
+func (r *Runner) runPackage(pkg *Package, rules []PolicyRule, snapRules []SnapshotRule, guards []AtomicGuard) []Diagnostic {
+	p := PolicyFor(rules, pkg.Path)
+	ann := collectAnnotations(pkg)
+	var diags []Diagnostic
+	diags = append(diags, ann.diags...)
+	if p.MapOrder {
+		diags = append(diags, checkMapOrder(pkg, ann)...)
+	}
+	if p.Entropy {
+		diags = append(diags, checkEntropy(pkg, p.NoRand)...)
+	}
+	if p.CopyLocks {
+		diags = append(diags, checkCopyLocks(pkg)...)
+	}
+	if p.NoGo {
+		diags = append(diags, checkNoGo(pkg)...)
+	}
+	if p.SnapImmut {
+		diags = append(diags, checkSnapImmut(pkg, ann, snapRules)...)
+	}
+	if p.AtomicUse {
+		diags = append(diags, checkAtomicUse(pkg, ann, guards)...)
+	}
+	return diags
+}
+
+// SortDiagnostics orders diags by file, line, column, then message — the
+// stable order every output mode uses.
+// DedupeDiagnostics removes exact duplicates from a sorted slice. Duplicates
+// arise when LoadTagSets analyzes two file-list variants of one package (a
+// tag set adds files): the shared files are walked once per variant and
+// produce identical findings.
+func DedupeDiagnostics(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if last.Pos == d.Pos && last.Check == d.Check && last.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -91,5 +202,4 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags
 }

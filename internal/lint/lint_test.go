@@ -13,8 +13,28 @@ import (
 // fixturePolicy enables every check on the fixture tree; the strictrand
 // fixture additionally gets the NoRand tightening it exists to exercise.
 var fixturePolicy = []PolicyRule{
-	{"anyopt/internal/lint/testdata/src/...", Policy{MapOrder: true, Entropy: true, CopyLocks: true, NoGo: true}},
+	{"anyopt/internal/lint/testdata/src/...", Policy{MapOrder: true, Entropy: true, CopyLocks: true, NoGo: true, SnapImmut: true, AtomicUse: true}},
 	{"anyopt/internal/lint/testdata/src/strictrand", Policy{MapOrder: true, Entropy: true, NoRand: true, CopyLocks: true, NoGo: true}},
+}
+
+// fixtureSnapshotRules and fixtureAtomicGuards retarget the mutation
+// invariants at the fixture's own types.
+var fixtureSnapshotRules = []SnapshotRule{
+	{Type: "anyopt/internal/lint/testdata/src/snapimmut.Snapshot", Writers: map[string]bool{"InstallCampaign": true}},
+}
+
+var fixtureAtomicGuards = []AtomicGuard{
+	{Struct: "anyopt/internal/lint/testdata/src/atomicuse.Sys", Field: "snap", Writers: map[string]bool{"InstallCampaign": true}},
+	{Struct: "anyopt/internal/lint/testdata/src/atomicuse.Sys", Field: "gen", Writers: map[string]bool{"InstallCampaign": true}},
+}
+
+// fixtureRunner is the Runner every fixture test uses.
+func fixtureRunner() *Runner {
+	return &Runner{
+		Policies:      fixturePolicy,
+		SnapshotRules: fixtureSnapshotRules,
+		AtomicGuards:  fixtureAtomicGuards,
+	}
 }
 
 func loadFixtures(t *testing.T, dirs ...string) []*Package {
@@ -83,9 +103,11 @@ func TestFixtureGolden(t *testing.T) {
 		"./testdata/src/entropy",
 		"./testdata/src/strictrand",
 		"./testdata/src/concurrency",
+		"./testdata/src/snapimmut",
+		"./testdata/src/atomicuse",
 	}
 	pkgs := loadFixtures(t, dirs...)
-	diags := (&Runner{Policies: fixturePolicy}).Run(pkgs)
+	diags := fixtureRunner().Run(pkgs)
 
 	var wants []*expectation
 	for _, d := range dirs {
@@ -126,7 +148,7 @@ func TestFixtureGolden(t *testing.T) {
 // //lint:orderinvariant is itself a violation and suppresses nothing.
 func TestBareDirectiveRejected(t *testing.T) {
 	pkgs := loadFixtures(t, "./testdata/src/annot")
-	diags := (&Runner{Policies: fixturePolicy}).Run(pkgs)
+	diags := fixtureRunner().Run(pkgs)
 	if len(diags) != 2 {
 		t.Fatalf("got %d diagnostics, want 2 (bad directive + unsuppressed append):\n%s", len(diags), format(diags))
 	}

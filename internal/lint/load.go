@@ -51,17 +51,28 @@ type Loader struct {
 	Dir string
 	// BuildTags are extra build tags (e.g. "invariants") passed to go list.
 	BuildTags []string
+	// Env holds extra environment entries (KEY=value) for the go tool, on
+	// top of the ambient environment. Tests use it to pin CGO_ENABLED.
+	Env []string
 
 	fset    *token.FileSet
-	std     types.Importer      // export-data importer for non-module deps
-	exports map[string]string   // import path -> export data file
-	pkgs    map[string]*Package // loaded module packages by import path
+	std     types.Importer    // export-data importer for non-module deps
+	exports map[string]string // import path -> export data file, merged across loads
+	parsed  map[string]*ast.File
+	checked map[string]*Package // (path, file list) -> package, reused across tag sets
+	pkgs    map[string]*Package // loaded module packages by import path, per Load call
 	listed  map[string]*listedPackage
 }
 
 // NewLoader creates a loader rooted at dir.
 func NewLoader(dir string) *Loader {
-	return &Loader{Dir: dir, fset: token.NewFileSet()}
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		parsed:  make(map[string]*ast.File),
+		checked: make(map[string]*Package),
+	}
 }
 
 // goList runs `go list` with the loader's tags and decodes the JSON stream.
@@ -71,7 +82,7 @@ func (l *Loader) goList(args ...string) ([]*listedPackage, error) {
 		cmd = append(cmd, "-tags="+strings.Join(l.BuildTags, ","))
 	}
 	cmd = append(cmd, args...)
-	out, err := runGo(l.Dir, cmd...)
+	out, err := l.runGo(cmd...)
 	if err != nil {
 		return nil, err
 	}
@@ -89,9 +100,12 @@ func (l *Loader) goList(args ...string) ([]*listedPackage, error) {
 	return pkgs, nil
 }
 
-func runGo(dir string, args ...string) ([]byte, error) {
+func (l *Loader) runGo(args ...string) ([]byte, error) {
 	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
+	cmd.Dir = l.Dir
+	if len(l.Env) > 0 {
+		cmd.Env = append(os.Environ(), l.Env...)
+	}
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
@@ -110,7 +124,6 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	l.listed = make(map[string]*listedPackage, len(roots))
-	l.exports = make(map[string]string)
 	for _, p := range roots {
 		l.listed[p.ImportPath] = p
 	}
@@ -118,11 +131,14 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	// Collect the non-module dependency closure and fetch its export data in
 	// one additional go list; plain `go list -deps` does not compile anything,
 	// so module sources with analyzer findings never need to build cleanly
-	// under vet-style gates to be lintable.
+	// under vet-style gates to be lintable. Export data already fetched by an
+	// earlier Load (another tag set) is reused, not re-listed.
 	var external []string
 	for _, p := range roots {
 		if p.Standard {
-			external = append(external, p.ImportPath)
+			if _, ok := l.exports[p.ImportPath]; !ok {
+				external = append(external, p.ImportPath)
+			}
 		}
 	}
 	if len(external) > 0 {
@@ -136,13 +152,15 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			}
 		}
 	}
-	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := l.exports[path]
-		if !ok {
-			return nil, fmt.Errorf("lint: no export data for %q", path)
-		}
-		return os.Open(f)
-	})
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+	}
 
 	l.pkgs = make(map[string]*Package)
 	// Type-check only packages selected by the patterns themselves plus any
@@ -180,9 +198,19 @@ func (l *Loader) check(path string, inProgress map[string]bool) (*Package, error
 	if !ok {
 		return nil, fmt.Errorf("lint: package %q not in go list output", path)
 	}
+	if len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("lint: package %q has no Go files under the active build tags", path)
+	}
+	// A package whose build-tag-selected file list matches an earlier Load is
+	// the same analysis input; reuse the type-checked result.
+	key := packageKey(lp)
+	if pkg, ok := l.checked[key]; ok {
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		f, err := l.parseFile(filepath.Join(lp.Dir, name))
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +248,62 @@ func (l *Loader) check(path string, inProgress map[string]bool) (*Package, error
 	}
 	pkg := &Package{Path: path, Dir: lp.Dir, Files: files, Types: tpkg, Info: info, Fset: l.fset}
 	l.pkgs[path] = pkg
+	l.checked[key] = pkg
 	return pkg, nil
+}
+
+// parseFile parses path once per Loader, sharing the result across tag sets.
+func (l *Loader) parseFile(path string) (*ast.File, error) {
+	if f, ok := l.parsed[path]; ok {
+		return f, nil
+	}
+	f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l.parsed[path] = f
+	return f, nil
+}
+
+// packageKey identifies a package by its import path and the exact file list
+// the active build tags selected.
+func packageKey(lp *listedPackage) string {
+	return lp.ImportPath + "\x00" + strings.Join(lp.GoFiles, "\x00")
+}
+
+// LoadTagSets loads patterns once per tag set — each element of tagSets is
+// one build-tag combination, nil meaning no extra tags — sharing the file
+// set, parse cache, export data, and type-check results across loads. The
+// result is the union of packages, deduplicated by (import path, file list):
+// a package whose tag-selected files are identical under two tag sets
+// appears once, so downstream analysis does not produce duplicate findings
+// for it. A package that gains files under a tag set (e.g. -tags invariants)
+// appears once per distinct file list.
+func (l *Loader) LoadTagSets(tagSets [][]string, patterns ...string) ([]*Package, error) {
+	if len(tagSets) == 0 {
+		tagSets = [][]string{nil}
+	}
+	savedTags := l.BuildTags
+	defer func() { l.BuildTags = savedTags }()
+
+	var out []*Package
+	seen := make(map[*Package]bool)
+	for _, tags := range tagSets {
+		l.BuildTags = tags
+		pkgs, err := l.Load(patterns...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			// Pointer identity is the dedupe: check() returns the cached
+			// *Package when the file list is unchanged across tag sets.
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

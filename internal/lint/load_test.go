@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// fileNames extracts the base names of a package's parsed files.
+func fileNames(p *Package) []string {
+	var names []string
+	for _, f := range p.Files {
+		name := p.Fset.File(f.Pos()).Name()
+		names = append(names, name[strings.LastIndexByte(name, '/')+1:])
+	}
+	return names
+}
+
+// TestLoadCgoDisabled pins build-tag file selection under the loader's Env
+// override: with CGO_ENABLED=0 the cgo-tagged file drops out, with
+// CGO_ENABLED=1 it joins the package.
+func TestLoadCgoDisabled(t *testing.T) {
+	for _, c := range []struct {
+		env  string
+		want int
+	}{
+		{"CGO_ENABLED=0", 1},
+		{"CGO_ENABLED=1", 2},
+	} {
+		loader := NewLoader(".")
+		loader.Env = []string{c.env}
+		pkgs, err := loader.Load("./testdata/src/cgotag")
+		if err != nil {
+			t.Fatalf("%s: %v", c.env, err)
+		}
+		if len(pkgs) != 1 {
+			t.Fatalf("%s: loaded %d packages, want 1", c.env, len(pkgs))
+		}
+		if got := len(pkgs[0].Files); got != c.want {
+			t.Errorf("%s: %d files (%v), want %d", c.env, got, fileNames(pkgs[0]), c.want)
+		}
+	}
+}
+
+// TestLoadTestOnlyPackage pins the empty-package diagnostic: a package with
+// only _test.go files resolves in go list but has nothing to analyze, and the
+// loader must say so rather than produce a hollow package.
+func TestLoadTestOnlyPackage(t *testing.T) {
+	loader := NewLoader(".")
+	_, err := loader.Load("./testdata/src/testonly")
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("Load(testonly) error = %v, want mention of no Go files", err)
+	}
+}
+
+// TestCheckUnlistedImportPath pins the mismatch diagnostic for import paths
+// absent from the go list closure — the failure mode of a vendored or
+// renamed import whose on-disk path disagrees with the source's import.
+func TestCheckUnlistedImportPath(t *testing.T) {
+	loader := NewLoader(".")
+	if _, err := loader.Load("./testdata/src/tagged"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loader.check("vendor.example/renamed", map[string]bool{})
+	if err == nil || !strings.Contains(err.Error(), "not in go list output") {
+		t.Fatalf("check(unlisted) error = %v, want mention of go list output", err)
+	}
+}
+
+// TestLoadTagsRoundTrip pins that BuildTags reach go list and change file
+// selection.
+func TestLoadTagsRoundTrip(t *testing.T) {
+	plain := NewLoader(".")
+	pkgs, err := plain.Load("./testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("untagged load: %v", fileNames(pkgs[0]))
+	}
+
+	tagged := NewLoader(".")
+	tagged.BuildTags = []string{"exttag"}
+	pkgs, err = tagged.Load("./testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 2 {
+		t.Fatalf("tagged load: %v", fileNames(pkgs[0]))
+	}
+}
+
+// TestLoadTagSets pins the shared-load semantics: one loader serves several
+// tag sets, identical file lists collapse to one package, and differing file
+// lists keep one package per variant.
+func TestLoadTagSets(t *testing.T) {
+	loader := NewLoader(".")
+
+	// Two tag sets that select different files: both variants survive.
+	pkgs, err := loader.LoadTagSets([][]string{nil, {"exttag"}}, "./testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d package variants, want 2", len(pkgs))
+	}
+	if a, b := len(pkgs[0].Files), len(pkgs[1].Files); a+b != 3 {
+		t.Errorf("variant file counts %d+%d, want 1+2", a, b)
+	}
+
+	// A tag set that does not change file selection dedupes to the cached
+	// package — pointer-identical, so the analysis runs once.
+	pkgs, err = loader.LoadTagSets([][]string{nil, {"unrelatedtag"}}, "./testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d package variants, want 1 after dedupe", len(pkgs))
+	}
+
+	// Empty tag-set list means one untagged load.
+	pkgs, err = loader.LoadTagSets(nil, "./testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("default tag set: got %d packages", len(pkgs))
+	}
+}
+
+// TestLoadTagSetsSharesState pins the cost model satellite: the second tag
+// set must reuse the first's parse results, not re-parse the files.
+func TestLoadTagSetsSharesState(t *testing.T) {
+	loader := NewLoader(".")
+	if _, err := loader.LoadTagSets([][]string{nil, {"exttag"}}, "./testdata/src/tagged"); err != nil {
+		t.Fatal(err)
+	}
+	// base.go appears in both variants but is parsed once.
+	if got := len(loader.parsed); got != 2 {
+		t.Errorf("parse cache holds %d files, want 2 (base.go shared, extra.go once)", got)
+	}
+	if got := len(loader.checked); got != 2 {
+		t.Errorf("check cache holds %d variants, want 2", got)
+	}
+}

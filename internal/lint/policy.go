@@ -9,6 +9,8 @@ type Policy struct {
 	NoRand    bool // with Entropy: ban math/rand outright, seeded or not
 	CopyLocks bool // sync primitives copied by value
 	NoGo      bool // go statements banned
+	SnapImmut bool // writes/alias leaks on immutable snapshot types
+	AtomicUse bool // atomic fields only via Load/Store/Add; guarded writers
 }
 
 // PolicyRule binds a package pattern to a policy. A pattern is either an
@@ -20,22 +22,24 @@ type PolicyRule struct {
 }
 
 // baseline applies module-wide: map iteration order must never leak into
-// outputs, sync primitives must never be copied, and goroutines belong only
-// to the packages explicitly granted goOwner below — everything else routes
-// parallelism through internal/exec. Wall clocks are fine outside the
-// simulator.
-var baseline = Policy{MapOrder: true, CopyLocks: true, NoGo: true}
+// outputs, sync primitives must never be copied, goroutines belong only to
+// the packages explicitly granted goOwner below — everything else routes
+// parallelism through internal/exec — and the mutation-invariant tier
+// (snapshot immutability, atomic discipline) holds everywhere snapshots or
+// guarded atomics are in scope. Wall clocks are fine outside the simulator.
+var baseline = Policy{MapOrder: true, CopyLocks: true, NoGo: true, SnapImmut: true, AtomicUse: true}
 
 // goOwner relaxes baseline for the sanctioned goroutine owners: the worker
 // pool itself, the real-network BGP speaker (hold timers over TCP), the
 // orchestrator's concurrent servers, and the API's async discovery job
-// runner.
-var goOwner = Policy{MapOrder: true, CopyLocks: true}
+// runner. The mutation-invariant tier stays on — goroutine owners are
+// exactly where a stray snapshot write would race.
+var goOwner = Policy{MapOrder: true, CopyLocks: true, SnapImmut: true, AtomicUse: true}
 
 // sim is the full determinism contract for simulator packages: everything in
 // baseline, plus no entropy except through seeded sources, and no goroutines
 // — parallelism belongs exclusively to internal/exec.
-var sim = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoGo: true}
+var sim = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoGo: true, SnapImmut: true, AtomicUse: true}
 
 // simPure tightens sim for packages that should hold no entropy source at
 // all, seeded or not: their randomness budget is zero, so an imported
@@ -43,7 +47,7 @@ var sim = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoGo: true}
 // reaches bgp through explicit nonce parameters, noise reaches measurements
 // through probe's NoiseModel, and chaos reaches the transport path only
 // through internal/fault.
-var simPure = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoRand: true, NoGo: true}
+var simPure = Policy{MapOrder: true, CopyLocks: true, Entropy: true, NoRand: true, NoGo: true, SnapImmut: true, AtomicUse: true}
 
 // DefaultPolicies is the repository policy table. The most specific
 // (longest) matching pattern wins.

@@ -1,0 +1,6 @@
+// Package cgotag is a loader fixture: one always-built file plus one behind
+// the cgo build tag, so tests can pin file selection under CGO_ENABLED.
+package cgotag
+
+// Base is the always-present symbol.
+const Base = 1

@@ -1,0 +1,7 @@
+//go:build cgo
+
+package cgotag
+
+// WithCgo only exists when cgo is enabled; the file imports no C code so the
+// fixture builds without a C toolchain.
+const WithCgo = 2

@@ -1,0 +1,6 @@
+// Package tagged is a loader fixture for build-tag round-trips: extra.go
+// joins the package only under -tags exttag.
+package tagged
+
+// Base is the always-present symbol.
+const Base = 1

@@ -1,0 +1,6 @@
+//go:build exttag
+
+package tagged
+
+// Extra exists only under the exttag build tag.
+const Extra = 2

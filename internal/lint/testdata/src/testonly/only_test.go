@@ -1,0 +1,7 @@
+// Package testonly is a loader fixture with no non-test Go files: go list
+// resolves it, but there is nothing for the analyzers to load.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}
