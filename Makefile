@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json escape-baseline fmt race invariants chaos bench bench-json loadbench check
+.PHONY: build test vet lint lint-json escape-baseline fmt race invariants chaos bench bench-json splpo-bench loadbench check
 
 build:
 	$(GO) build ./...
@@ -60,14 +60,23 @@ bench:
 
 # bench-json runs the campaign-speed benchmarks plus the concurrent-API
 # benchmarks (at 1 and 8 procs, lock-free vs the serialized seed
-# architecture) and reduces them all to one checked-in JSON document so perf
-# changes are diffable across commits.
+# architecture) and the SPLPO solver head-to-heads, reducing them all to one
+# checked-in JSON document so perf changes are diffable across commits.
 bench-json:
 	( $(GO) test -run xxx -bench 'BenchmarkDiscoveryCampaign|BenchmarkFig4aOrderFlip' \
 		-benchmem -json . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkPredictParallel|BenchmarkPredictSerialized|BenchmarkOptimizeParallel' \
-		-benchmem -json -cpu 1,8 ./internal/api/ ) \
-		| $(GO) run ./cmd/benchjson -out BENCH_6.json
+		-benchmem -json -cpu 1,8 ./internal/api/ ; \
+	  $(GO) test -run xxx -bench 'BenchmarkSolver15|BenchmarkFeasible500|BenchmarkAnytime|BenchmarkFullEval500|BenchmarkDeltaMove500|BenchmarkWarmVsCold500' \
+		-benchmem -json -benchtime 1x ./internal/core/splpo/ ) \
+		| $(GO) run ./cmd/benchjson -out BENCH_8.json
+
+# splpo-bench runs just the solver head-to-heads (exhaustive vs the old
+# bitmask LocalSearch vs the anytime solver, plus the delta-vs-full move
+# cost and warm-vs-cold reoptimization) with human-readable output.
+splpo-bench:
+	$(GO) test -run xxx -bench 'BenchmarkSolver15|BenchmarkFeasible500|BenchmarkAnytime|BenchmarkFullEval500|BenchmarkDeltaMove500|BenchmarkWarmVsCold500' \
+		-benchmem -benchtime 1x ./internal/core/splpo/
 
 # loadbench runs the anyoptd load harness — predict QPS and latency
 # percentiles idle vs with a discovery job in flight — and records the

@@ -288,6 +288,10 @@ type OptimizeResult struct {
 	SubsetsEvaluated int
 	// OrderableClients is the number of clients in the optimization.
 	OrderableClients int
+	// Evals and Moves are the anytime solver's counters (candidate moves
+	// evaluated, moves accepted); zero on the exact-solver paths.
+	Evals int
+	Moves int
 }
 
 // Optimize searches for the lowest-predicted-latency configuration with

@@ -288,3 +288,82 @@ func TestOptimizeExcluding(t *testing.T) {
 		t.Error("unknown site excluded without error")
 	}
 }
+
+func TestOptimizeWithAnytimeMatchesExact(t *testing.T) {
+	sys := getSystem(t)
+	exact, err := sys.Optimize(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A time budget routes the same search to the anytime solver; on the
+	// paper-scale testbed it must land on the same optimum.
+	any, err := sys.OptimizeWith(OptimizeOptions{
+		K: 6, TimeBudget: 2 * time.Second, Restarts: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if any.PredictedMean != exact.PredictedMean {
+		t.Errorf("anytime mean %v, exact optimum %v", any.PredictedMean, exact.PredictedMean)
+	}
+	if len(any.Config) != 6 {
+		t.Errorf("anytime config %v, want 6 sites", any.Config)
+	}
+	if any.Evals == 0 {
+		t.Error("anytime path reported no evals")
+	}
+
+	// Exclusion carries through the anytime path too.
+	excl, err := sys.OptimizeWith(OptimizeOptions{
+		K: 6, TimeBudget: time.Second, Exclude: []int{any.Config[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range excl.Config {
+		if id == any.Config[0] {
+			t.Errorf("excluded site %d present in %v", id, excl.Config)
+		}
+	}
+}
+
+func TestWarmOptimizerAcrossGenerations(t *testing.T) {
+	sys := getSystem(t)
+	snap := sys.CurrentSnapshot()
+	w := NewWarmOptimizer()
+	opts := OptimizeOptions{K: 6, TimeBudget: time.Second}
+	res1, raw1, err := w.Reoptimize(snap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw1.Patched != 0 {
+		t.Errorf("cold solve reported %d patched clients", raw1.Patched)
+	}
+	if w.Gen() != snap.Gen {
+		t.Errorf("gen %d, want %d", w.Gen(), snap.Gen)
+	}
+	// Same generation: continue refining; result stays at the optimum.
+	res2, _, err := w.Reoptimize(snap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PredictedMean != res1.PredictedMean {
+		t.Errorf("same-gen re-solve moved the optimum: %v vs %v", res2.PredictedMean, res1.PredictedMean)
+	}
+	// Republishing the identical campaign bumps the generation with zero
+	// client churn: the warm path patches nothing and keeps the optimum.
+	snap2 := sys.InstallCampaign(snap.Pred, snap.RTT, snap.AnnOrder, snap.Experiments, snap.Quarantined)
+	res3, raw3, err := w.Reoptimize(snap2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw3.Patched != 0 {
+		t.Errorf("no-churn republish patched %d clients", raw3.Patched)
+	}
+	if res3.PredictedMean != res1.PredictedMean {
+		t.Errorf("no-churn republish moved the optimum: %v vs %v", res3.PredictedMean, res1.PredictedMean)
+	}
+	if w.Gen() != snap2.Gen {
+		t.Errorf("gen %d, want %d", w.Gen(), snap2.Gen)
+	}
+}

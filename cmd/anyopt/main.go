@@ -49,7 +49,8 @@ commands:
   table1      print the testbed layout
   discover    run the full measurement campaign and summarize it
   predict     predict a configuration (-config 1,3,5) and validate by deployment
-  optimize    find the best configuration (-k sites, 0 = any size; -budget subsets)
+  optimize    find the best configuration (-k sites, 0 = any size; -budget subsets;
+              -time-budget / -restarts route to the anytime solver)
   peers       one-pass peering evaluation on top of the optimum (-k, -max links)
   trace       explain a client's routing toward a configuration (-config, -client ASN)
   breakdown   count which BGP attribute decides each client's catchment (-config)
@@ -200,16 +201,29 @@ func main() {
 		fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 		k := fs.Int("k", 12, "number of sites (0 = any size)")
 		budget := fs.Int("budget", 0, "max subsets to evaluate (0 = all)")
+		timeBudget := fs.Duration("time-budget", 0, "anytime solver wall-clock budget (0 = exact solver)")
+		restarts := fs.Int("restarts", 1, "anytime solver parallel restarts")
 		fs.Parse(args)
 		if err := env.Discover(); err != nil {
 			log.Fatal(err)
 		}
-		opt, err := sys.Optimize(*k, *budget)
+		var opt anyopt.OptimizeResult
+		var err error
+		if *timeBudget > 0 || *restarts > 1 {
+			opt, err = sys.OptimizeWith(anyopt.OptimizeOptions{
+				K: *k, MaxSubsets: *budget, TimeBudget: *timeBudget, Restarts: *restarts,
+			})
+		} else {
+			opt, err = sys.Optimize(*k, *budget)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("optimum: %v (predicted mean %v, %d subsets, %d orderable clients)\n",
 			opt.Config, opt.PredictedMean.Round(10*time.Microsecond), opt.SubsetsEvaluated, opt.OrderableClients)
+		if opt.Moves > 0 {
+			fmt.Printf("anytime solver: %d moves accepted over %d candidate evals\n", opt.Moves, opt.Evals)
+		}
 		_, rtts := sys.MeasureConfiguration(opt.Config)
 		mean, _ := predict.MeasuredMeanRTT(rtts)
 		fmt.Printf("deployed mean: %v\n", mean.Round(10*time.Microsecond))

@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"anyopt"
 	"anyopt/internal/campaign"
@@ -243,6 +244,19 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	timeBudgetMs, err := intParam(r, "time_budget_ms", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if timeBudgetMs < 0 {
+		writeErr(w, http.StatusBadRequest, "time_budget_ms must be >= 0, got %d", timeBudgetMs)
+		return
+	}
+	if k < 0 || budget < 0 {
+		writeErr(w, http.StatusBadRequest, "k and budget must be >= 0")
+		return
+	}
 	var exclude []int
 	if raw := r.URL.Query().Get("exclude"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {
@@ -258,33 +272,54 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	body, err := optimizeResponse(snap, k, budget, exclude)
+	body, err := optimizeResponse(snap, k, budget, timeBudgetMs, exclude)
 	if err != nil {
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
+	}
+	if evals, ok := body["solver_evals"].(int); ok {
+		s.metrics.solverEvals.Add(uint64(evals))
+		s.metrics.solverMoves.Add(uint64(body["solver_moves"].(int)))
 	}
 	writeJSON(w, http.StatusOK, body)
 }
 
 // optimizeResponse computes the /v1/optimize body against one snapshot; see
-// predictResponse for why it is split out.
-func optimizeResponse(snap *anyopt.Snapshot, k, budget int, exclude []int) (map[string]any, error) {
+// predictResponse for why it is split out. A positive timeBudgetMs routes
+// the request to the anytime solver (which also takes over automatically on
+// networks past the 63-site bitmask limit); the response then carries the
+// solver's eval/move counters.
+func optimizeResponse(snap *anyopt.Snapshot, k, budget, timeBudgetMs int, exclude []int) (map[string]any, error) {
 	var res anyopt.OptimizeResult
 	var err error
-	if len(exclude) > 0 {
+	anytime := timeBudgetMs > 0 || len(snap.TB.Sites) > 63
+	switch {
+	case anytime:
+		res, err = snap.OptimizeWith(anyopt.OptimizeOptions{
+			K:          k,
+			MaxSubsets: budget,
+			Exclude:    exclude,
+			TimeBudget: time.Duration(timeBudgetMs) * time.Millisecond,
+		})
+	case len(exclude) > 0:
 		res, err = snap.OptimizeExcluding(k, budget, exclude...)
-	} else {
+	default:
 		res, err = snap.Optimize(k, budget)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return map[string]any{
+	body := map[string]any{
 		"config":            res.Config,
 		"predicted_mean_ms": float64(res.PredictedMean) / 1e6,
 		"subsets":           res.SubsetsEvaluated,
 		"orderable_clients": res.OrderableClients,
-	}, nil
+	}
+	if anytime {
+		body["solver_evals"] = res.Evals
+		body["solver_moves"] = res.Moves
+	}
+	return body, nil
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {

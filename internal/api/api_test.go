@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -149,6 +150,33 @@ func TestDiscoverPredictOptimizeFlow(t *testing.T) {
 			t.Errorf("excluded site %d in config %v", excluded, opt2.Config)
 		}
 	}
+
+	// A time budget routes to the anytime solver, whose counters show up in
+	// the response and in /metrics.
+	var opt3 struct {
+		Config []int   `json:"config"`
+		Mean   float64 `json:"predicted_mean_ms"`
+		Evals  int     `json:"solver_evals"`
+		Moves  int     `json:"solver_moves"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/optimize?k=6&time_budget_ms=500", &opt3); code != 200 {
+		t.Fatalf("optimize with time budget: status %d", code)
+	}
+	if len(opt3.Config) != 6 || opt3.Mean <= 0 {
+		t.Fatalf("anytime optimize: %+v", opt3)
+	}
+	if opt3.Evals <= 0 {
+		t.Fatalf("anytime optimize reported no solver evals: %+v", opt3)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "anyoptd_solver_evals_total") {
+		t.Error("solver counters missing from /metrics")
+	}
 }
 
 func TestScheduleEndpoint(t *testing.T) {
@@ -197,16 +225,19 @@ func TestCampaignRoundTripOverHTTP(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	ts := discoveredServer(t)
 	cases := []string{
-		"/v1/predict",               // missing config
-		"/v1/predict?config=x",      // bad id
-		"/v1/predict?config=1,1",    // duplicate site
-		"/v1/predict?config=99",     // out-of-range site
-		"/v1/predict?config=0",      // out-of-range site (low)
-		"/v1/measure?config=4,4",    // duplicate site
-		"/v1/measure?config=-2",     // out-of-range site
-		"/v1/optimize?k=abc",        // bad k
-		"/v1/optimize?exclude=zz",   // bad exclude
-		"/v1/schedule?sites=banana", // bad int
+		"/v1/predict",                      // missing config
+		"/v1/predict?config=x",             // bad id
+		"/v1/predict?config=1,1",           // duplicate site
+		"/v1/predict?config=99",            // out-of-range site
+		"/v1/predict?config=0",             // out-of-range site (low)
+		"/v1/measure?config=4,4",           // duplicate site
+		"/v1/measure?config=-2",            // out-of-range site
+		"/v1/optimize?k=abc",               // bad k
+		"/v1/optimize?k=-1",                // negative k
+		"/v1/optimize?exclude=zz",          // bad exclude
+		"/v1/optimize?time_budget_ms=nope", // bad time budget
+		"/v1/optimize?time_budget_ms=-5",   // negative time budget
+		"/v1/schedule?sites=banana",        // bad int
 	}
 	for _, path := range cases {
 		if code := getJSON(t, ts.URL+path, nil); code != http.StatusBadRequest {

@@ -118,14 +118,12 @@ func (p *Predictor) BuildInstanceWeighted(annProv []prefs.Item, loads map[prefs.
 			continue
 		}
 		idxRank := make([]int, len(ranking))
-		cost := make([]float64, n)
-		for i := range cost {
-			cost[i] = unmeasuredCost
-		}
+		rankCost := make([]float64, len(ranking))
 		for i, siteID := range ranking {
 			idxRank[i] = siteID - 1
+			rankCost[i] = unmeasuredCost
 			if rtt, ok := p.rttOrHuge(siteID, c); ok {
-				cost[siteID-1] = float64(rtt) / float64(time.Millisecond)
+				rankCost[i] = float64(rtt) / float64(time.Millisecond)
 			}
 		}
 		load := 1.0
@@ -135,7 +133,7 @@ func (p *Predictor) BuildInstanceWeighted(annProv []prefs.Item, loads map[prefs.
 			}
 		}
 		in.Clients = append(in.Clients, splpo.Client{
-			Ranking: idxRank, Cost: cost, Load: load, Weight: load,
+			Ranking: idxRank, RankCost: rankCost, Load: load, Weight: load,
 		})
 		clients = append(clients, c)
 	}
@@ -165,4 +163,29 @@ func ConfigToSubset(cfg Config) uint64 {
 		subset |= 1 << uint(id-1)
 	}
 	return subset
+}
+
+// SiteSetToConfig is SubsetToConfig for bitset configurations — the
+// representation the anytime solver uses past the 63-site bitmask limit.
+func (p *Predictor) SiteSetToConfig(open splpo.SiteSet, annProv []prefs.Item) Config {
+	var cfg Config
+	for _, prov := range annProv {
+		for _, s := range p.TB.SitesOfTransit(topology.ASN(prov)) {
+			if open.Has(s.ID - 1) {
+				cfg = append(cfg, s.ID)
+			}
+		}
+	}
+	return cfg
+}
+
+// ConfigToSiteSet is the inverse of SiteSetToConfig over an n-site testbed.
+func ConfigToSiteSet(n int, cfg Config) splpo.SiteSet {
+	s := splpo.NewSiteSet(n)
+	for _, id := range cfg {
+		if id >= 1 && id <= n {
+			s.Add(id - 1)
+		}
+	}
+	return s
 }

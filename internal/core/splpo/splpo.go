@@ -9,6 +9,16 @@
 // "as many configurations as we can compute within a time bound" approach
 // (§5.3), and a local-search solver for large networks, plus the baselines
 // the paper compares against (greedy-by-unicast-RTT, random).
+//
+// Two solver families coexist:
+//
+//   - The bitmask solvers (Exhaustive, LocalSearch, GreedyByCost,
+//     RandomSubset) represent a configuration as a uint64 subset and are
+//     limited to 63 sites — the paper's 15-site testbed scale.
+//   - The anytime solver (Search, SearchParallel, Warm.Reoptimize in
+//     anytime.go) represents a configuration as a SiteSet bitset and
+//     evaluates moves incrementally through DeltaEval (delta.go), scaling to
+//     the §4.5 Akamai analysis (500 sites / 20 transits) and beyond.
 package splpo
 
 import (
@@ -30,8 +40,15 @@ type Client struct {
 	// Appendix B).
 	Ranking []int
 	// Cost[s] is the cost of serving this client from site s. Sites absent
-	// from Ranking are never used regardless of cost.
+	// from Ranking are never used regardless of cost. Cost may be nil when
+	// RankCost is set.
 	Cost []float64
+	// RankCost is the sparse alternative to Cost: RankCost[i] is the cost of
+	// serving this client from Ranking[i]. For internet-scale instances a
+	// dense per-site cost row is O(sites) per client; rankings are short
+	// (only acceptable sites appear), so RankCost keeps instances linear in
+	// the total ranking length. When both are set, RankCost wins.
+	RankCost []float64
 	// Load is the demand this client adds to its chosen site.
 	Load float64
 	// Weight scales the client's cost contribution (e.g., query volume).
@@ -46,19 +63,23 @@ type Instance struct {
 	Cap []float64
 }
 
-// Validate checks structural sanity.
+// Validate checks structural sanity. Instances of any site count validate;
+// the 63-site limit applies only to the bitmask solvers, which enforce it
+// themselves (see requireBitmaskScale).
 func (in *Instance) Validate() error {
 	if in.NumSites <= 0 {
 		return fmt.Errorf("splpo: NumSites = %d", in.NumSites)
-	}
-	if in.NumSites > 63 {
-		return fmt.Errorf("splpo: NumSites = %d exceeds bitmask solver limit 63", in.NumSites)
 	}
 	if in.Cap != nil && len(in.Cap) != in.NumSites {
 		return fmt.Errorf("splpo: Cap has %d entries for %d sites", len(in.Cap), in.NumSites)
 	}
 	for i, c := range in.Clients {
-		if len(c.Cost) != in.NumSites {
+		switch {
+		case c.RankCost != nil:
+			if len(c.RankCost) != len(c.Ranking) {
+				return fmt.Errorf("splpo: client %d has %d rank costs for %d ranked sites", i, len(c.RankCost), len(c.Ranking))
+			}
+		case len(c.Cost) != in.NumSites:
 			return fmt.Errorf("splpo: client %d has %d costs for %d sites", i, len(c.Cost), in.NumSites)
 		}
 		seen := map[int]bool{}
@@ -71,6 +92,32 @@ func (in *Instance) Validate() error {
 			}
 			seen[s] = true
 		}
+	}
+	return nil
+}
+
+// costAt returns the cost of serving c from its pos-th ranked site.
+func (c *Client) costAt(pos int) float64 {
+	if c.RankCost != nil {
+		return c.RankCost[pos]
+	}
+	return c.Cost[c.Ranking[pos]]
+}
+
+// weight returns the client's cost weight (default 1).
+func (c *Client) weight() float64 {
+	if c.Weight == 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// requireBitmaskScale guards the uint64-subset solvers: past 63 sites the
+// subset mask (and `uint64(1) << NumSites`) silently overflows, so they
+// refuse loudly and point at the scalable solver.
+func (in *Instance) requireBitmaskScale(solver string) error {
+	if in.NumSites > 63 {
+		return fmt.Errorf("splpo: %s is a uint64-bitmask solver limited to 63 sites, got %d; use Search or SearchParallel (anytime local search over SiteSet)", solver, in.NumSites)
 	}
 	return nil
 }
@@ -107,35 +154,53 @@ func (a Assignment) Sites() []int {
 // Evaluate assigns every client to its most preferred open site and tallies
 // cost and load.
 func (in *Instance) Evaluate(subset uint64) Assignment {
-	a := Assignment{Subset: subset, Feasible: true, SiteLoad: make([]float64, in.NumSites)}
+	var a Assignment
+	in.EvaluateInto(subset, &a)
+	return a
+}
+
+// EvaluateInto is Evaluate writing into a caller-owned Assignment, reusing
+// a.SiteLoad when its capacity suffices — the allocation-lean form for move
+// loops that evaluate thousands of subsets (LocalSearch, the enumerators).
+func (in *Instance) EvaluateInto(subset uint64, a *Assignment) {
+	if cap(a.SiteLoad) >= in.NumSites {
+		a.SiteLoad = a.SiteLoad[:in.NumSites]
+		for i := range a.SiteLoad {
+			a.SiteLoad[i] = 0
+		}
+	} else {
+		a.SiteLoad = make([]float64, in.NumSites)
+	}
+	a.Subset = subset
+	a.TotalCost, a.MeanCost = 0, 0
+	a.Served = 0
+	a.Feasible = true
 	if subset == 0 {
 		a.Feasible = false
 		a.TotalCost = Infinity
-		return a
+		a.MeanCost = Infinity
+		return
 	}
 	var totalWeight float64
 	for i := range in.Clients {
 		c := &in.Clients[i]
-		site := -1
-		for _, s := range c.Ranking {
+		pos := -1
+		for p, s := range c.Ranking {
 			if subset&(1<<uint(s)) != 0 {
-				site = s
+				pos = p
 				break
 			}
 		}
-		if site < 0 {
+		if pos < 0 {
 			a.Feasible = false
 			a.TotalCost = Infinity
 			continue
 		}
-		w := c.Weight
-		if w == 0 {
-			w = 1
-		}
-		a.TotalCost += w * c.Cost[site]
+		w := c.weight()
+		a.TotalCost += w * c.costAt(pos)
 		totalWeight += w
 		a.Served++
-		a.SiteLoad[site] += c.Load
+		a.SiteLoad[c.Ranking[pos]] += c.Load
 	}
 	if in.Cap != nil {
 		for s, load := range a.SiteLoad {
@@ -149,7 +214,78 @@ func (in *Instance) Evaluate(subset uint64) Assignment {
 	} else {
 		a.MeanCost = Infinity
 	}
-	return a
+}
+
+// Stats is the scale-free evaluation outcome used by the SiteSet solvers:
+// the same quantities Assignment carries, without the uint64 subset and with
+// infeasibility decomposed into its two causes (unserved clients, capacity
+// excess) so local search can descend through infeasible regions.
+type Stats struct {
+	// FiniteCost is the weighted cost sum over served clients only.
+	FiniteCost float64
+	// Weight is the total weight of served clients.
+	Weight float64
+	// Served and Unserved partition the clients.
+	Served, Unserved int
+	// CapExcess is the total load above capacity, summed over open sites.
+	CapExcess float64
+	// Open is the number of open sites.
+	Open int
+}
+
+// Feasible reports whether every client is served and no cap is exceeded.
+func (st Stats) Feasible() bool { return st.Unserved == 0 && st.CapExcess == 0 }
+
+// MeanCost matches Assignment.MeanCost: Infinity when any client is
+// unserved (or none are served), the weighted mean otherwise.
+func (st Stats) MeanCost() float64 {
+	if st.Unserved > 0 || st.Weight == 0 {
+		return Infinity
+	}
+	return st.FiniteCost / st.Weight
+}
+
+// EvaluateSet is the full (non-incremental) evaluation of a SiteSet, valid
+// at any site count. siteLoad is optional scratch of length NumSites; pass
+// nil to allocate. The per-site loads are left in siteLoad when provided.
+func (in *Instance) EvaluateSet(open SiteSet, siteLoad []float64) Stats {
+	if siteLoad == nil {
+		siteLoad = make([]float64, in.NumSites)
+	} else {
+		siteLoad = siteLoad[:in.NumSites]
+		for i := range siteLoad {
+			siteLoad[i] = 0
+		}
+	}
+	var st Stats
+	st.Open = open.Count()
+	for i := range in.Clients {
+		c := &in.Clients[i]
+		pos := -1
+		for p, s := range c.Ranking {
+			if open.Has(s) {
+				pos = p
+				break
+			}
+		}
+		if pos < 0 {
+			st.Unserved++
+			continue
+		}
+		w := c.weight()
+		st.FiniteCost += w * c.costAt(pos)
+		st.Weight += w
+		st.Served++
+		siteLoad[c.Ranking[pos]] += c.Load
+	}
+	if in.Cap != nil {
+		open.ForEach(func(s int) {
+			if siteLoad[s] > in.Cap[s] {
+				st.CapExcess += siteLoad[s] - in.Cap[s]
+			}
+		})
+	}
+	return st
 }
 
 // Options bounds a solver run.
@@ -174,7 +310,11 @@ func Exhaustive(in *Instance, opts Options) (Assignment, int, error) {
 	if err := in.Validate(); err != nil {
 		return Assignment{}, 0, err
 	}
+	if err := in.requireBitmaskScale("Exhaustive"); err != nil {
+		return Assignment{}, 0, err
+	}
 	best := Assignment{MeanCost: Infinity, TotalCost: Infinity}
+	var scratch Assignment
 	evaluated := 0
 	limit := uint64(1) << uint(in.NumSites)
 	for subset := uint64(1); subset < limit; subset++ {
@@ -188,12 +328,12 @@ func Exhaustive(in *Instance, opts Options) (Assignment, int, error) {
 			break
 		}
 		evaluated++
-		a := in.Evaluate(subset)
-		if opts.RequireFeasible && !a.Feasible {
+		in.EvaluateInto(subset, &scratch)
+		if opts.RequireFeasible && !scratch.Feasible {
 			continue
 		}
-		if a.MeanCost < best.MeanCost {
-			best = a
+		if scratch.MeanCost < best.MeanCost {
+			best, scratch = scratch, best
 		}
 	}
 	if best.TotalCost >= Infinity && best.Subset == 0 {
@@ -207,6 +347,9 @@ func Exhaustive(in *Instance, opts Options) (Assignment, int, error) {
 // for networks too large to enumerate (§4.5's Akamai-scale analysis).
 func LocalSearch(in *Instance, seed uint64, opts Options, maxIters int) (Assignment, error) {
 	if err := in.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if err := in.requireBitmaskScale("LocalSearch"); err != nil {
 		return Assignment{}, err
 	}
 	seed &^= opts.ForbiddenMask
@@ -225,6 +368,7 @@ func LocalSearch(in *Instance, seed uint64, opts Options, maxIters int) (Assignm
 	if maxIters <= 0 {
 		maxIters = 1000
 	}
+	var scratch Assignment
 	for iter := 0; iter < maxIters; iter++ {
 		improved := false
 		best := cur
@@ -235,12 +379,12 @@ func LocalSearch(in *Instance, seed uint64, opts Options, maxIters int) (Assignm
 			if opts.ExactSize > 0 && bits.OnesCount64(subset) != opts.ExactSize {
 				return
 			}
-			a := in.Evaluate(subset)
-			if opts.RequireFeasible && !a.Feasible {
+			in.EvaluateInto(subset, &scratch)
+			if opts.RequireFeasible && !scratch.Feasible {
 				return
 			}
-			if a.MeanCost < best.MeanCost {
-				best = a
+			if scratch.MeanCost < best.MeanCost {
+				best, scratch = scratch, best
 				improved = true
 			}
 		}
@@ -280,6 +424,9 @@ func GreedyByCost(in *Instance, k int) (Assignment, error) {
 	if err := in.Validate(); err != nil {
 		return Assignment{}, err
 	}
+	if err := in.requireBitmaskScale("GreedyByCost"); err != nil {
+		return Assignment{}, err
+	}
 	if k <= 0 || k > in.NumSites {
 		return Assignment{}, fmt.Errorf("splpo: greedy size %d out of range", k)
 	}
@@ -287,23 +434,21 @@ func GreedyByCost(in *Instance, k int) (Assignment, error) {
 		site int
 		mean float64
 	}
+	sums := make([]float64, in.NumSites)
+	counts := make([]int, in.NumSites)
+	for i := range in.Clients {
+		c := &in.Clients[i]
+		// Only clients that can use the site contribute.
+		for p, s := range c.Ranking {
+			sums[s] += c.costAt(p)
+			counts[s]++
+		}
+	}
 	means := make([]siteMean, in.NumSites)
 	for s := 0; s < in.NumSites; s++ {
-		sum, n := 0.0, 0
-		for i := range in.Clients {
-			c := &in.Clients[i]
-			// Only clients that can use the site contribute.
-			for _, r := range c.Ranking {
-				if r == s {
-					sum += c.Cost[s]
-					n++
-					break
-				}
-			}
-		}
 		m := Infinity
-		if n > 0 {
-			m = sum / float64(n)
+		if counts[s] > 0 {
+			m = sums[s] / float64(counts[s])
 		}
 		means[s] = siteMean{s, m}
 	}
@@ -323,6 +468,9 @@ func GreedyByCost(in *Instance, k int) (Assignment, error) {
 // RandomSubset evaluates a uniformly random subset of exactly k sites.
 func RandomSubset(in *Instance, k int, rng *rand.Rand) (Assignment, error) {
 	if err := in.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if err := in.requireBitmaskScale("RandomSubset"); err != nil {
 		return Assignment{}, err
 	}
 	if k <= 0 || k > in.NumSites {

@@ -153,7 +153,6 @@ func TestExhaustiveInfeasibleInstance(t *testing.T) {
 func TestValidateErrors(t *testing.T) {
 	bad := []*Instance{
 		{NumSites: 0},
-		{NumSites: 64},
 		{NumSites: 2, Cap: []float64{1}},
 		{NumSites: 2, Clients: []Client{{Ranking: []int{0}, Cost: []float64{1}}}},
 		{NumSites: 2, Clients: []Client{{Ranking: []int{5}, Cost: []float64{1, 1}}}},

@@ -43,6 +43,7 @@ var DefaultPackages = []string{
 	"./internal/bgp",
 	"./internal/netproto",
 	"./internal/core/discovery",
+	"./internal/core/splpo",
 }
 
 // Site identifies one class of heap escape: a message the compiler emits for

@@ -1,0 +1,268 @@
+package topology
+
+// Synthetic SPLPO instance generation at scales the BGP testbed generator
+// cannot reach. Generate builds a full routed topology (thousands of ASes)
+// and is the right tool at paper scale; the §4.5 Akamai-scale analysis
+// (500 sites / 20 transit providers) and the ROADMAP's internet-scale
+// ambition (5k sites) need SPLPO instances directly — geo-grounded costs,
+// BGP-flavored preference orders that disagree with latency, truncated
+// rankings — without paying for per-AS route propagation.
+//
+// The model: sites are scattered over the geo city atlas and each buys
+// transit from one of NumTransits providers. Clients sit near cities too;
+// a client's candidate sites are its region's nearest sites by great-circle
+// RTT, but its *preference* order sorts by (transit-provider preference,
+// perturbed RTT) — the latency-oblivious BGP behavior of §1 — while its
+// *cost* is the true RTT. Rankings are truncated to RankWidth, so at
+// internet scale a configuration can leave clients unserved, which is
+// exactly the regime the anytime solver's lexicographic guidance objective
+// (unserved, cap excess, mean cost) is built for.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"anyopt/internal/core/splpo"
+	"anyopt/internal/geo"
+)
+
+// SPLPOParams controls synthetic SPLPO instance generation.
+type SPLPOParams struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumSites is the number of candidate anycast sites.
+	NumSites int
+	// NumTransits is the number of transit providers sites attach to.
+	NumTransits int
+	// NumClients is the number of client aggregates.
+	NumClients int
+	// RankWidth truncates each client's preference ranking (≤ CandWidth).
+	RankWidth int
+	// CandWidth is how many nearby sites a client considers before
+	// preference ordering truncates to RankWidth.
+	CandWidth int
+	// Capacitated adds per-site capacity limits.
+	Capacitated bool
+	// CapSlack is total capacity over total load when Capacitated
+	// (e.g. 1.5 = 50% headroom).
+	CapSlack float64
+	// TransitBiasMs is how strongly transit preference overrides latency in
+	// the client's ordering, in milliseconds per preference step.
+	TransitBiasMs float64
+	// JitterMs perturbs the RTT used for ordering (not the true cost),
+	// modeling measurement noise and intra-AS detours.
+	JitterMs float64
+}
+
+// AkamaiScaleSPLPOParams is the §4.5 scale: 500 sites across 20 transit
+// providers, ten thousand client aggregates. Uncapacitated like the paper's
+// analysis — the objective is mean latency, and because preference order
+// disagrees with latency, all-open is NOT optimal: the solver earns its keep
+// by closing sites that attract clients away from lower-latency ones.
+// (Capacity limits remain available via Capacitated/CapSlack; with demand
+// this geographically clustered, tight uniform caps can make an instance
+// infeasible outright — isolated metros overload their only nearby sites no
+// matter which subset is open — so capacitated runs should keep generous
+// slack or expect the solver to minimize, not eliminate, cap excess.)
+func AkamaiScaleSPLPOParams() SPLPOParams {
+	return SPLPOParams{
+		Seed:          1,
+		NumSites:      500,
+		NumTransits:   20,
+		NumClients:    10000,
+		RankWidth:     16,
+		CandWidth:     48,
+		TransitBiasMs: 25,
+		JitterMs:      8,
+	}
+}
+
+// InternetScaleSPLPOParams is the ROADMAP's internet-scale target: 5k sites.
+func InternetScaleSPLPOParams() SPLPOParams {
+	return SPLPOParams{
+		Seed:          1,
+		NumSites:      5000,
+		NumTransits:   40,
+		NumClients:    40000,
+		RankWidth:     24,
+		CandWidth:     64,
+		TransitBiasMs: 25,
+		JitterMs:      8,
+	}
+}
+
+// Validate checks the parameters.
+func (p SPLPOParams) Validate() error {
+	switch {
+	case p.NumSites < 1:
+		return fmt.Errorf("splpogen: NumSites %d < 1", p.NumSites)
+	case p.NumTransits < 1:
+		return fmt.Errorf("splpogen: NumTransits %d < 1", p.NumTransits)
+	case p.NumClients < 1:
+		return fmt.Errorf("splpogen: NumClients %d < 1", p.NumClients)
+	case p.RankWidth < 1:
+		return fmt.Errorf("splpogen: RankWidth %d < 1", p.RankWidth)
+	case p.CandWidth < p.RankWidth:
+		return fmt.Errorf("splpogen: CandWidth %d < RankWidth %d", p.CandWidth, p.RankWidth)
+	case p.Capacitated && p.CapSlack <= 0:
+		return fmt.Errorf("splpogen: CapSlack %v must be positive", p.CapSlack)
+	}
+	return nil
+}
+
+// splpoSite is one generated site.
+type splpoSite struct {
+	coord   geo.Coord
+	transit int
+}
+
+// GenerateSPLPO builds a synthetic SPLPO instance. Deterministic per
+// parameter set; the result passes splpo.Validate.
+func GenerateSPLPO(p SPLPOParams) (*splpo.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	model := geo.DefaultLatencyModel()
+
+	sites := make([]splpoSite, p.NumSites)
+	for i := range sites {
+		city := geo.Cities[rng.Intn(len(geo.Cities))]
+		sites[i] = splpoSite{
+			coord: geo.Coord{
+				Lat: clampLat(city.Coord.Lat + rng.NormFloat64()*1.5),
+				Lon: wrapLon(city.Coord.Lon + rng.NormFloat64()*1.5),
+			},
+			transit: rng.Intn(p.NumTransits),
+		}
+	}
+
+	// Per-city nearest-site shortlists, shared by every client anchored to
+	// that city: O(cities × sites) distance work instead of
+	// O(clients × sites).
+	cand := p.CandWidth
+	if cand > p.NumSites {
+		cand = p.NumSites
+	}
+	type distSite struct {
+		site int
+		km   float64
+	}
+	shortlists := make([][]distSite, len(geo.Cities))
+	scratch := make([]distSite, p.NumSites)
+	for ci, city := range geo.Cities {
+		for si := range sites {
+			scratch[si] = distSite{site: si, km: geo.DistanceKm(city.Coord, sites[si].coord)}
+		}
+		sort.Slice(scratch, func(a, b int) bool {
+			if scratch[a].km != scratch[b].km {
+				return scratch[a].km < scratch[b].km
+			}
+			return scratch[a].site < scratch[b].site
+		})
+		shortlists[ci] = append([]distSite(nil), scratch[:cand]...)
+	}
+
+	in := &splpo.Instance{
+		NumSites: p.NumSites,
+		Clients:  make([]splpo.Client, p.NumClients),
+	}
+	totalLoad := 0.0
+	type prefSite struct {
+		site  int
+		score float64
+		rtt   float64
+	}
+	prefs := make([]prefSite, cand)
+	for i := range in.Clients {
+		city := rng.Intn(len(geo.Cities))
+		coord := geo.Coord{
+			Lat: clampLat(geo.Cities[city].Coord.Lat + rng.NormFloat64()*2),
+			Lon: wrapLon(geo.Cities[city].Coord.Lon + rng.NormFloat64()*2),
+		}
+		// A client's transit preference: most clients follow a common
+		// relationship-driven order, a BGP-flavored bias uncorrelated with
+		// latency; the per-client shuffle of the top slots models deviant
+		// LOCAL_PREF policies.
+		transitPref := rng.Perm(p.NumTransits)
+		prefs = prefs[:0]
+		for _, ds := range shortlists[city] {
+			s := &sites[ds.site]
+			rtt := float64(model.RTT(coord, s.coord, 2)) / 1e6 // ms
+			score := float64(transitPref[s.transit])*p.TransitBiasMs +
+				rtt + rng.NormFloat64()*p.JitterMs
+			prefs = append(prefs, prefSite{site: ds.site, score: score, rtt: rtt})
+		}
+		sort.Slice(prefs, func(a, b int) bool {
+			if prefs[a].score != prefs[b].score {
+				return prefs[a].score < prefs[b].score
+			}
+			return prefs[a].site < prefs[b].site
+		})
+		width := p.RankWidth
+		if width > len(prefs) {
+			width = len(prefs)
+		}
+		ranking := make([]int, width)
+		rankCost := make([]float64, width)
+		for j := 0; j < width; j++ {
+			ranking[j] = prefs[j].site
+			rankCost[j] = prefs[j].rtt
+		}
+		weight := 1 + rng.ExpFloat64()*3 // heavy-tailed client populations
+		in.Clients[i] = splpo.Client{
+			Ranking:  ranking,
+			RankCost: rankCost,
+			Weight:   weight,
+			Load:     weight,
+		}
+		totalLoad += weight
+	}
+
+	if p.Capacitated {
+		in.Cap = make([]float64, p.NumSites)
+		per := totalLoad / float64(p.NumSites) * p.CapSlack
+		for s := range in.Cap {
+			in.Cap[s] = per
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("splpogen: generated invalid instance: %w", err)
+	}
+	return in, nil
+}
+
+// ChurnSPLPO returns a copy of in with a fraction of clients' preference
+// orders re-randomized (rankings reshuffled by fresh jitter over the same
+// candidate sites), plus the sorted list of changed client rows — the input
+// for warm-restart re-optimization. Unchanged client rows share storage
+// with the original instance; the original is not mutated.
+func ChurnSPLPO(in *splpo.Instance, frac float64, seed int64) (*splpo.Instance, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	out := &splpo.Instance{NumSites: in.NumSites, Cap: in.Cap}
+	out.Clients = append([]splpo.Client(nil), in.Clients...)
+	n := int(frac * float64(len(in.Clients)))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(in.Clients) {
+		n = len(in.Clients)
+	}
+	changed := rng.Perm(len(in.Clients))[:n]
+	sort.Ints(changed)
+	for _, c := range changed {
+		old := &in.Clients[c]
+		k := len(old.Ranking)
+		perm := rng.Perm(k)
+		ranking := make([]int, k)
+		rankCost := make([]float64, k)
+		for j, pj := range perm {
+			ranking[j] = old.Ranking[pj]
+			rankCost[j] = old.RankCost[pj]
+		}
+		out.Clients[c].Ranking = ranking
+		out.Clients[c].RankCost = rankCost
+	}
+	return out, changed
+}

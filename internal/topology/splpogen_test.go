@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"testing"
+
+	"anyopt/internal/core/splpo"
+)
+
+func TestGenerateSPLPOValid(t *testing.T) {
+	p := AkamaiScaleSPLPOParams()
+	p.NumClients = 2000 // keep the unit test quick; the bench runs full scale
+	in, err := GenerateSPLPO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumSites != 500 || len(in.Clients) != 2000 {
+		t.Fatalf("shape: %d sites / %d clients", in.NumSites, len(in.Clients))
+	}
+	if in.Cap != nil {
+		t.Fatal("uncapacitated params produced capacitated instance")
+	}
+	p.Capacitated, p.CapSlack = true, 2
+	capd, err := GenerateSPLPO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capd.Cap == nil {
+		t.Fatal("capacitated params produced uncapacitated instance")
+	}
+	for i := range in.Clients {
+		c := &in.Clients[i]
+		if len(c.Ranking) == 0 || len(c.RankCost) != len(c.Ranking) {
+			t.Fatalf("client %d: ranking %d / rankcost %d", i, len(c.Ranking), len(c.RankCost))
+		}
+		if c.Weight <= 0 || c.Load <= 0 {
+			t.Fatalf("client %d: weight %v load %v", i, c.Weight, c.Load)
+		}
+	}
+}
+
+func TestGenerateSPLPODeterministic(t *testing.T) {
+	p := AkamaiScaleSPLPOParams()
+	p.NumClients = 300
+	a, err := GenerateSPLPO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSPLPO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Clients {
+		ca, cb := &a.Clients[i], &b.Clients[i]
+		if len(ca.Ranking) != len(cb.Ranking) {
+			t.Fatalf("client %d ranking lengths differ", i)
+		}
+		for j := range ca.Ranking {
+			if ca.Ranking[j] != cb.Ranking[j] || ca.RankCost[j] != cb.RankCost[j] {
+				t.Fatalf("client %d not deterministic at pos %d", i, j)
+			}
+		}
+	}
+}
+
+// TestAkamaiScaleSolvable is the end-to-end smoke: on a 500-site instance
+// the anytime solver finds a feasible (all-served) configuration within a
+// modest work budget and beats the all-open baseline — because preference
+// order disagrees with latency, closing the right sites lowers the mean.
+func TestAkamaiScaleSolvable(t *testing.T) {
+	p := AkamaiScaleSPLPOParams()
+	p.NumClients = 4000
+	in, err := GenerateSPLPO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := splpo.NewSiteSet(in.NumSites)
+	for s := 0; s < in.NumSites; s++ {
+		all.Add(s)
+	}
+	allOpen := in.EvaluateSet(all, nil)
+	res, err := splpo.Search(in, splpo.SearchOptions{
+		RequireFeasible: true,
+		MaxWork:         4_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("result not feasible: %+v", res.Stats)
+	}
+	if res.MeanCost <= 0 || res.MeanCost > 500 {
+		t.Fatalf("implausible mean cost %v ms", res.MeanCost)
+	}
+	if res.MeanCost >= allOpen.MeanCost() {
+		t.Fatalf("solver mean %.3f did not beat all-open baseline %.3f",
+			res.MeanCost, allOpen.MeanCost())
+	}
+	t.Logf("500-site: mean=%.2fms (all-open %.2fms) open=%d work=%d evals=%d moves=%d perturbs=%d",
+		res.MeanCost, allOpen.MeanCost(), res.Stats.Open, res.Work, res.Evals, res.Moves, res.Perturbations)
+}
+
+func TestChurnSPLPO(t *testing.T) {
+	p := AkamaiScaleSPLPOParams()
+	p.NumClients = 500
+	in, err := GenerateSPLPO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, changed := ChurnSPLPO(in, 0.1, 7)
+	if len(changed) != 50 {
+		t.Fatalf("changed %d clients, want 50", len(changed))
+	}
+	if err := churned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range changed {
+		if seen[c] {
+			t.Fatalf("duplicate changed client %d", c)
+		}
+		seen[c] = true
+	}
+	// Unchanged rows must be shared, changed rows fresh.
+	for i := range in.Clients {
+		same := &in.Clients[i].Ranking[0] == &churned.Clients[i].Ranking[0]
+		if seen[i] && same {
+			t.Fatalf("changed client %d shares ranking storage", i)
+		}
+		if !seen[i] && !same {
+			t.Fatalf("unchanged client %d was copied", i)
+		}
+	}
+}
