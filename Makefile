@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json escape-baseline fmt race invariants chaos bench bench-json splpo-bench loadbench check
+.PHONY: build test vet lint lint-json escape-baseline fmt race invariants chaos chaos-churn bench bench-json splpo-bench loadbench check
 
 build:
 	$(GO) build ./...
@@ -55,21 +55,35 @@ chaos:
 	$(GO) test -race -run 'ForEachCtx|Retry|RunTimeout|Flush|SessionReset' \
 		./internal/exec/ ./internal/orchestrator/
 
+# chaos-churn runs the churn-reconciliation suite under the race detector:
+# the differential convergence test (a healed churned campaign must be
+# byte-identical to a from-scratch campaign on the post-churn topology, at
+# several worker counts and under harsh fault injection), cone inference,
+# the staleness/health state machine, and the anyoptd churn endpoints
+# including checkpoint resume of half-finished repairs.
+chaos-churn:
+	$(GO) test -race -run 'Churn|Cone|Stale|Health|Repair|Reconcile' \
+		./internal/reconcile/ ./internal/api/
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
 # bench-json runs the campaign-speed benchmarks plus the concurrent-API
 # benchmarks (at 1 and 8 procs, lock-free vs the serialized seed
-# architecture) and the SPLPO solver head-to-heads, reducing them all to one
-# checked-in JSON document so perf changes are diffable across commits.
+# architecture), the SPLPO solver head-to-heads, and the churn-reconciler
+# cone benchmarks (cone_frac is the acceptance headline: a single-link flap
+# at paper scale must re-measure at most 10% of pairs), reducing them all to
+# one checked-in JSON document so perf changes are diffable across commits.
 bench-json:
 	( $(GO) test -run xxx -bench 'BenchmarkDiscoveryCampaign|BenchmarkFig4aOrderFlip' \
 		-benchmem -json . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkPredictParallel|BenchmarkPredictSerialized|BenchmarkOptimizeParallel' \
 		-benchmem -json -cpu 1,8 ./internal/api/ ; \
 	  $(GO) test -run xxx -bench 'BenchmarkSolver15|BenchmarkFeasible500|BenchmarkAnytime|BenchmarkFullEval500|BenchmarkDeltaMove500|BenchmarkWarmVsCold500' \
-		-benchmem -json -benchtime 1x ./internal/core/splpo/ ) \
-		| $(GO) run ./cmd/benchjson -out BENCH_8.json
+		-benchmem -json -benchtime 1x ./internal/core/splpo/ ; \
+	  $(GO) test -run xxx -bench 'BenchmarkStructuralConePaper|BenchmarkConeRepair' \
+		-benchmem -json -benchtime 1x ./internal/reconcile/ ) \
+		| $(GO) run ./cmd/benchjson -out BENCH_9.json
 
 # splpo-bench runs just the solver head-to-heads (exhaustive vs the old
 # bitmask LocalSearch vs the anytime solver, plus the delta-vs-full move
@@ -86,5 +100,5 @@ loadbench:
 	@cat LOADBENCH_6.json
 
 # check is the CI gate: formatting, static analysis, the full suite, the
-# race pass, the invariant-audited BGP suite, and the chaos suite.
-check: fmt vet lint test race invariants chaos
+# race pass, the invariant-audited BGP suite, and the chaos suites.
+check: fmt vet lint test race invariants chaos chaos-churn

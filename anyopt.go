@@ -136,6 +136,21 @@ type Snapshot struct {
 	// Quarantined records sites the campaign pulled out as dead (ID →
 	// reason); nil for fault-free campaigns.
 	Quarantined map[int]string
+	// StaleRows maps clients whose rows predate a known routing change to
+	// the generation whose campaign data they still reflect. A client absent
+	// from the map is current at Gen. The churn reconciler marks a cone
+	// stale the moment churn is applied (degraded-mode serving: answers stay
+	// available, flagged) and clears entries only when a quorum-committed
+	// repair replaces the whole row — a partially repaired row is never
+	// representable. Nil when every row is current.
+	StaleRows map[prefs.Client]uint64
+}
+
+// RowStale reports whether the client's row predates a known routing change,
+// and if so, the generation whose data it still reflects.
+func (sn *Snapshot) RowStale(c prefs.Client) (gen uint64, stale bool) {
+	gen, stale = sn.StaleRows[c]
+	return gen, stale
 }
 
 // New builds the synthetic Internet and deploys the testbed on it.
@@ -187,6 +202,31 @@ func (s *System) InstallCampaign(pred *predict.Predictor, rtt *discovery.RTTTabl
 		Gen:         s.gen.Add(1),
 		Experiments: experiments,
 		Quarantined: maps.Clone(quarantined),
+	}
+	s.Pred, s.RTT, s.AnnOrder = pred, rtt, snap.AnnOrder
+	s.snap.Store(snap)
+	return snap
+}
+
+// PatchCampaign publishes a row-patched successor of the current campaign as
+// a fresh immutable Snapshot — InstallCampaign's sibling write point, used by
+// the churn reconciler. The inputs are already-patched copy-on-write
+// structures (prefs.Store.PatchClients, discovery.RTTTable.Patch): the
+// previous snapshot is never touched, readers observe either it or the
+// complete successor. staleRows carries the rows still awaiting repair,
+// keyed to the generation whose data they reflect; nil means fully healed.
+//
+// Writers must be externally serialized exactly like InstallCampaign.
+func (s *System) PatchCampaign(pred *predict.Predictor, rtt *discovery.RTTTable, annOrder []prefs.Item, experiments int, quarantined map[int]string, staleRows map[prefs.Client]uint64) *Snapshot {
+	snap := &Snapshot{
+		TB:          s.TB,
+		Pred:        pred,
+		RTT:         rtt,
+		AnnOrder:    append([]prefs.Item(nil), annOrder...),
+		Gen:         s.gen.Add(1),
+		Experiments: experiments,
+		Quarantined: maps.Clone(quarantined),
+		StaleRows:   maps.Clone(staleRows),
 	}
 	s.Pred, s.RTT, s.AnnOrder = pred, rtt, snap.AnnOrder
 	s.snap.Store(snap)

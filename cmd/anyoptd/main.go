@@ -6,6 +6,8 @@
 //	curl -s -X POST localhost:8080/v1/discover          # async job
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s 'localhost:8080/v1/optimize?k=12'
+//	curl -s -X POST localhost:8080/v1/churn -d '{"seed":7}'   # inject churn
+//	curl -s localhost:8080/v1/reconcile                 # reconciler health
 //	curl -s localhost:8080/metrics
 //
 // With -load it runs the in-process load harness instead of serving: a
@@ -79,6 +81,14 @@ func main() {
 			log.Fatal(err)
 		}
 		apiSrv.SetCheckpointDir(*checkpointDir)
+		// A crash mid-reconcile leaves patch records without a commit mark:
+		// re-apply the journaled churn and queue the unfinished cone repairs
+		// rather than serving pre-churn rows as fresh.
+		if n, err := apiSrv.ResumePendingRepairs(); err != nil {
+			log.Fatal(err)
+		} else if n > 0 {
+			log.Printf("resumed %d unfinished cone repair(s) from %s", n, *checkpointDir)
+		}
 	}
 
 	if *load {

@@ -14,21 +14,27 @@
 //	GET    /v1/schedule?sites=500&providers=20&prefixes=4
 //	GET    /v1/campaign                    export the campaign snapshot
 //	POST   /v1/campaign                    import a campaign snapshot
+//	POST   /v1/churn                       apply routing churn, queue cone repair (?sync=1 repairs inline)
+//	GET    /v1/reconcile                   reconciler health / staleness / repair stats
 //	GET    /metrics                        Prometheus text-format metrics
 //
-// Concurrency model (DESIGN.md §10): the read path — predict, optimize,
-// measure, schedule, campaign export — takes no locks at all. Each request
-// loads the current immutable campaign Snapshot from an atomic pointer and
-// computes against it; measure requests additionally draw a private warm
-// discovery session from a session pool. Writers (discovery jobs, campaign
-// import) serialize among themselves on writeMu and publish a fresh snapshot
-// atomically, so a long-running discovery never blocks a prediction.
+// Concurrency model (DESIGN.md §10, §13): the read path — predict, optimize,
+// schedule, campaign export — takes no locks at all. Each request loads the
+// current immutable campaign Snapshot from an atomic pointer and computes
+// against it; measure requests additionally draw a private warm discovery
+// session from a session pool. Writers (discovery jobs, campaign import, the
+// churn reconciler) serialize among themselves on writeMu and publish a fresh
+// snapshot atomically, so a long-running discovery never blocks a prediction.
+// The live topology itself is mutable only under topoMu's write lock (churn
+// application); every campaign that reads the topology — discovery jobs,
+// measure sessions, cone repairs — holds its read lock (see reconcile.go).
 package api
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,10 +50,19 @@ import (
 type Server struct {
 	sys *anyopt.System
 
-	// writeMu serializes campaign writers: discovery jobs and campaign
-	// imports. Readers never touch it — they go through
-	// sys.CurrentSnapshot().
+	// writeMu serializes campaign writers: discovery jobs, campaign imports,
+	// and the churn reconciler's snapshot patches. Readers never touch it —
+	// they go through sys.CurrentSnapshot().
 	writeMu sync.Mutex
+
+	// topoMu guards the live topology, which simulators otherwise read
+	// lock-free: churn application write-locks it (quiescing every in-flight
+	// campaign); discovery jobs, measure sessions, and cone repairs hold the
+	// read lock while their simulations run.
+	topoMu sync.RWMutex
+
+	// rec is the churn reconciler's state (see reconcile.go).
+	rec reconciler
 
 	// sessions hands out warm per-request discovery sessions for /v1/measure.
 	sessions *sessionPool
@@ -94,6 +109,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/schedule", "schedule", s.handleSchedule)
 	handle("GET /v1/campaign", "campaign", s.handleCampaignExport)
 	handle("POST /v1/campaign", "campaign", s.handleCampaignImport)
+	handle("POST /v1/churn", "churn", s.handleChurn)
+	handle("GET /v1/reconcile", "reconcile", s.handleReconcileStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -190,7 +207,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, predictResponse(snap, cfg))
+	body := predictResponse(snap, cfg)
+	// Serving-quality annotations (DESIGN.md §13): the reconciler health
+	// state and, when churn has outrun repair, exactly which client rows are
+	// still backed by pre-churn data and from which generation.
+	health, _ := s.recHealthView()
+	body["health"] = health.String()
+	if n := len(snap.StaleRows); n > 0 {
+		body["stale_rows"] = n
+		body["stale_clients"] = staleClientsJSON(snap)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // predictResponse computes the /v1/predict body against one snapshot. Split
@@ -211,15 +238,36 @@ func predictResponse(snap *anyopt.Snapshot, cfg anyopt.Config) map[string]any {
 	}
 }
 
+// staleClientJSON is one stale prediction row: the client AS and the snapshot
+// generation whose campaign data it still reflects.
+type staleClientJSON struct {
+	Client int64  `json:"client"`
+	Gen    uint64 `json:"gen"`
+}
+
+// staleClientsJSON lists the snapshot's stale rows in client order.
+func staleClientsJSON(snap *anyopt.Snapshot) []staleClientJSON {
+	out := make([]staleClientJSON, 0, len(snap.StaleRows))
+	for c, g := range snap.StaleRows {
+		out = append(out, staleClientJSON{Client: int64(c), Gen: g})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	cfg, err := s.parseConfig(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The session's simulations read the live topology; hold the read lock so
+	// churn application (which write-locks topoMu) quiesces us first.
+	s.topoMu.RLock()
 	sess := s.sessions.acquire()
 	catch, rtts := sess.Disc.RunConfigurationRTTs(cfg)
 	s.sessions.release(sess)
+	s.topoMu.RUnlock()
 	mean, n := predict.MeasuredMeanRTT(rtts)
 	perSite := map[string]int{}
 	for _, site := range catch {

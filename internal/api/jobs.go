@@ -260,7 +260,11 @@ func (s *Server) runDiscoverJob(j *job) {
 	defer s.jobs.done(j)
 	defer j.cancel()
 
+	// The campaign's simulations read the live topology; the read lock makes
+	// churn application wait for the job instead of mutating under it.
+	s.topoMu.RLock()
 	pred, rtt, err := predict.NewPredictor(s.sys.TB, j.disc, s.sys.Options().UseRTTHeuristic)
+	s.topoMu.RUnlock()
 	if err == nil {
 		// Batch APIs surface infrastructure errors (cancellation, checkpoint
 		// I/O, schedule mismatch) out of band; a campaign built over them is
@@ -314,13 +318,31 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
+	// Decide and act under the job lock: finish() also takes it, so a job
+	// completing concurrently either lands before the check (the cancel is a
+	// 409 carrying the terminal state and result) or after the cancel signal
+	// (the context is already cancelled when the runner next checks). The
+	// unlocked check-then-cancel this replaces could report "cancelling" for
+	// a job that had already published its campaign.
 	j.mu.Lock()
-	state := j.state
-	j.mu.Unlock()
-	if state != jobRunning {
-		writeErr(w, http.StatusConflict, "job %s is %s, not running", j.id, state)
+	state, errMsg, result := j.state, j.errMsg, j.result
+	if state == jobRunning {
+		j.cancel()
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "cancelling": true})
 		return
 	}
-	j.cancel()
-	writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "cancelling": true})
+	j.mu.Unlock()
+	body := map[string]any{
+		"error": fmt.Sprintf("job %s is %s, not running", j.id, state),
+		"id":    j.id,
+		"state": state,
+	}
+	if errMsg != "" {
+		body["job_error"] = errMsg
+	}
+	if result != nil {
+		body["result"] = result
+	}
+	writeJSON(w, http.StatusConflict, body)
 }

@@ -68,7 +68,7 @@ func newMetrics() *metrics {
 	m := &metrics{endpoints: make(map[string]*endpointStats)}
 	for _, name := range []string{
 		"testbed", "discover", "jobs", "predict", "measure",
-		"optimize", "schedule", "campaign",
+		"optimize", "schedule", "campaign", "churn", "reconcile",
 	} {
 		m.endpoints[name] = &endpointStats{buckets: make([]atomic.Uint64, len(latencyBucketsSeconds))}
 		m.names = append(m.names, name)
@@ -180,4 +180,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, state := range []string{jobRunning, jobDone, jobFailed, jobCancelled} {
 		fmt.Fprintf(w, "anyoptd_discovery_jobs{state=%q} %d\n", state, counts[state])
 	}
+
+	// Churn reconciler (DESIGN.md §13).
+	health, stats := s.recHealthView()
+	staleRows := 0
+	if snap := s.sys.CurrentSnapshot(); snap != nil {
+		staleRows = len(snap.StaleRows)
+	}
+	fmt.Fprintf(w, "# HELP anyoptd_reconcile_health Reconciler health state (0=fresh 1=reconciling 2=degraded 3=stale).\n")
+	fmt.Fprintf(w, "# TYPE anyoptd_reconcile_health gauge\n")
+	fmt.Fprintf(w, "anyoptd_reconcile_health %d\n", uint8(health))
+	fmt.Fprintf(w, "# HELP anyoptd_stale_rows Served prediction rows still backed by pre-churn data.\n")
+	fmt.Fprintf(w, "# TYPE anyoptd_stale_rows gauge\n")
+	fmt.Fprintf(w, "anyoptd_stale_rows %d\n", staleRows)
+	fmt.Fprintf(w, "# HELP anyoptd_cones_in_flight Cone repairs currently running.\n")
+	fmt.Fprintf(w, "# TYPE anyoptd_cones_in_flight gauge\n")
+	fmt.Fprintf(w, "anyoptd_cones_in_flight %d\n", stats["cones_in_flight"])
+	fmt.Fprintf(w, "# HELP anyoptd_repairs_total Completed cone repair cycles, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE anyoptd_repairs_total counter\n")
+	fmt.Fprintf(w, "anyoptd_repairs_total{outcome=\"ok\"} %d\n", stats["repairs"])
+	fmt.Fprintf(w, "anyoptd_repairs_total{outcome=\"failed\"} %d\n", stats["repair_failures"])
+	fmt.Fprintf(w, "# HELP anyoptd_repair_last_duration_seconds Wall-clock latency of the last successful cone repair.\n")
+	fmt.Fprintf(w, "# TYPE anyoptd_repair_last_duration_seconds gauge\n")
+	fmt.Fprintf(w, "anyoptd_repair_last_duration_seconds %s\n", ftoa(float64(stats["last_repair_ms"].(int64))/1e3))
+	fmt.Fprintf(w, "# HELP anyoptd_quorum_retries_total Extra K-of-N experiment attempts spent by cone repairs.\n")
+	fmt.Fprintf(w, "# TYPE anyoptd_quorum_retries_total counter\n")
+	fmt.Fprintf(w, "anyoptd_quorum_retries_total %d\n", stats["quorum_retries"])
 }

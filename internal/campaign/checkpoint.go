@@ -9,16 +9,33 @@ import (
 	"sync"
 
 	"anyopt/internal/core/discovery"
+	"anyopt/internal/core/prefs"
 )
 
 // CheckpointVersion guards against loading incompatible checkpoint files.
 const CheckpointVersion = 1
 
 // checkpointFile is the on-disk shape: experiment nonces (as decimal
-// strings, since JSON object keys are strings) to journal entries.
+// strings, since JSON object keys are strings) to journal entries, plus the
+// reconciler's patch records (absent in pre-churn checkpoints).
 type checkpointFile struct {
 	Version int                               `json:"version"`
 	Entries map[string]discovery.JournalEntry `json:"entries"`
+	Patches map[string]PatchRecord            `json:"patches,omitempty"`
+}
+
+// PatchRecord journals one reconciler repair: the snapshot generation whose
+// rows the churn invalidated, the affected client cone, and the churn events
+// themselves (opaque JSON — the api layer owns the concrete type). A record
+// with Done still false after a crash means the rows it names were marked
+// stale but never repaired; a resuming server must re-apply the events and
+// re-run exactly those cone repairs instead of silently serving pre-churn
+// rows as fresh.
+type PatchRecord struct {
+	Gen     uint64          `json:"gen"`
+	Clients []prefs.Client  `json:"clients"`
+	Events  json.RawMessage `json:"events,omitempty"`
+	Done    bool            `json:"done,omitempty"`
 }
 
 // Checkpoint is a file-backed discovery.Journal: every completed experiment
@@ -34,6 +51,7 @@ type Checkpoint struct {
 	mu      sync.Mutex
 	path    string
 	entries map[uint64]discovery.JournalEntry
+	patches map[string]PatchRecord
 }
 
 // NewCheckpoint opens (or creates) the checkpoint at path. An existing file
@@ -61,6 +79,12 @@ func NewCheckpoint(path string) (*Checkpoint, error) {
 			return nil, fmt.Errorf("campaign: checkpoint %s has invalid experiment key %q", path, k)
 		}
 		c.entries[nonce] = ent
+	}
+	for id, p := range f.Patches {
+		if c.patches == nil {
+			c.patches = make(map[string]PatchRecord)
+		}
+		c.patches[id] = p
 	}
 	return c, nil
 }
@@ -91,12 +115,55 @@ func (c *Checkpoint) Record(nonce uint64, ent discovery.JournalEntry) error {
 	return c.persistLocked()
 }
 
+// RecordPatchPending journals a reconciler repair before it runs: the rows in
+// rec are stale from this moment until RecordPatchDone. Persisted atomically,
+// like experiment entries.
+func (c *Checkpoint) RecordPatchPending(id string, rec PatchRecord) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.patches == nil {
+		c.patches = make(map[string]PatchRecord)
+	}
+	rec.Done = false
+	c.patches[id] = rec
+	return c.persistLocked()
+}
+
+// RecordPatchDone marks a patch record's repair as committed. Unknown ids are
+// a no-op: a superseding full campaign may retire repairs wholesale.
+func (c *Checkpoint) RecordPatchDone(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.patches[id]
+	if !ok {
+		return nil
+	}
+	rec.Done = true
+	c.patches[id] = rec
+	return c.persistLocked()
+}
+
+// PendingPatches returns the patch records whose repairs never committed —
+// the resume set after a crash mid-reconcile.
+func (c *Checkpoint) PendingPatches() map[string]PatchRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]PatchRecord)
+	for id, rec := range c.patches {
+		if !rec.Done {
+			out[id] = rec
+		}
+	}
+	return out
+}
+
 // persistLocked writes the journal to a temp file in the same directory and
 // renames it over the checkpoint path, so readers never observe a torn file.
 func (c *Checkpoint) persistLocked() error {
 	f := checkpointFile{
 		Version: CheckpointVersion,
 		Entries: make(map[string]discovery.JournalEntry, len(c.entries)),
+		Patches: c.patches,
 	}
 	for nonce, ent := range c.entries {
 		f.Entries[strconv.FormatUint(nonce, 10)] = ent

@@ -83,6 +83,18 @@ type Config struct {
 	// this switch exists for those tests and for bisecting suspected reuse
 	// bugs.
 	FreshSims bool
+
+	// TargetFilter, when non-nil, restricts probing to targets whose client
+	// AS is in the set. Experiments still run the full BGP schedule (every
+	// announcement, every nonce), so routing state matches an unfiltered
+	// campaign exactly; only the measurement loop skips out-of-set targets.
+	// Combined with per-target noise reseeding (probe.Prober.BeginTarget),
+	// a filtered campaign reproduces the unfiltered campaign's rows for the
+	// selected clients byte-for-byte — the contract the churn reconciler's
+	// cone-scoped repair is built on. Dead-site detection is disabled under
+	// a filter (an empty filtered row is expected, not an outage); callers
+	// restore quarantine from the snapshot being repaired instead.
+	TargetFilter map[prefs.Client]bool
 }
 
 // DefaultConfig returns the paper-faithful campaign settings.
@@ -126,6 +138,11 @@ type Discovery struct {
 	// recycles a converged simulator through Sim.Reset, a miss constructs a
 	// fresh one. Exposed through SimPoolStats for the /metrics endpoint.
 	poolHits, poolMisses atomic.Uint64
+
+	// quorumRetries counts experiment attempts beyond each experiment's
+	// first — the price of K-of-N re-measurement under faults. Advances from
+	// worker goroutines; read via QuorumRetries.
+	quorumRetries atomic.Uint64
 
 	// simPool recycles converged simulators across experiments: Sim.Reset
 	// clears a session in place, so workers reuse warm topology-sized state
@@ -188,6 +205,10 @@ func (d *Discovery) SimPoolStats() (hits, misses uint64) {
 	return d.poolHits.Load(), d.poolMisses.Load()
 }
 
+// QuorumRetries returns how many experiment attempts ran beyond each
+// experiment's first — K-of-N re-measurement cost. Safe from any goroutine.
+func (d *Discovery) QuorumRetries() uint64 { return d.quorumRetries.Load() }
+
 // Exp is the context of one experiment attempt inside a batch: the jitter
 // nonce fixed at submission time, a private probe counter, and — when fault
 // injection is enabled — the attempt's fault injector and trace. Everything
@@ -219,6 +240,12 @@ func (e *Exp) sim() *bgp.Sim {
 	}
 	sim := e.d.acquireSim(cfg)
 	e.sims = append(e.sims, sim)
+	// Persistent churn outages survive across experiments (unlike injected
+	// flaps): Sim.Reset clears failed-link state, so every session re-fails
+	// the topology's down links before running.
+	for _, id := range e.d.TB.Topo.DownLinks() {
+		sim.FailLink(id)
+	}
 	if e.inj != nil {
 		for _, id := range e.inj.BlackoutSites() {
 			site := e.d.TB.Site(id)
@@ -271,16 +298,39 @@ func (e *Exp) release() {
 
 // flapCandidates lists the links eligible for injected session flaps: every
 // live site's transit link. Blacked-out sites are excluded so a flap's
-// restore can never resurrect a link the blackout permanently failed.
+// restore can never resurrect a link the blackout permanently failed, and
+// churn-downed links are excluded for the same reason — a flap's restore
+// must not resurrect a persistent outage.
 func (d *Discovery) flapCandidates() []topology.LinkID {
 	out := make([]topology.LinkID, 0, len(d.TB.Sites))
 	for _, s := range d.TB.Sites {
-		if d.Cfg.Faults.BlackedOut(s.ID) {
+		if d.Cfg.Faults.BlackedOut(s.ID) || d.TB.Topo.LinkIsDown(s.TransitLink) {
 			continue
 		}
 		out = append(out, s.TransitLink)
 	}
 	return out
+}
+
+// targetIncluded reports whether the target's client AS passes the campaign's
+// TargetFilter (every target passes a nil filter).
+func (d *Discovery) targetIncluded(as topology.ASN) bool {
+	return d.Cfg.TargetFilter == nil || d.Cfg.TargetFilter[prefs.Client(as)]
+}
+
+// FilteredTargets returns how many of the testbed's targets the campaign will
+// probe versus the total, for repair-fraction accounting.
+func (d *Discovery) FilteredTargets() (probed, total int) {
+	total = len(d.TB.Topo.Targets)
+	if d.Cfg.TargetFilter == nil {
+		return total, total
+	}
+	for _, tg := range d.TB.Topo.Targets {
+		if d.targetIncluded(tg.AS) {
+			probed++
+		}
+	}
+	return probed, total
 }
 
 // proberAt builds a measurement prober over sim for the given test prefix,
@@ -346,6 +396,14 @@ func (e *Exp) observe(p *probe.Prober, withRTT bool) map[prefs.Client]Observatio
 	tb := e.d.TB
 	out := make(map[prefs.Client]Observation, len(tb.Topo.Targets))
 	for _, tg := range tb.Topo.Targets {
+		if !e.d.targetIncluded(tg.AS) {
+			continue
+		}
+		// Rewind the noise/fault streams to this target's position: each
+		// target's measurement is then a pure function of (experiment,
+		// target), independent of which other targets were probed — what
+		// keeps a filtered campaign byte-identical to a full one.
+		p.BeginTarget(uint64(tg.AS))
 		key, err := p.CatchmentRetry(tg.Addr, 3)
 		if err != nil {
 			continue
@@ -387,6 +445,10 @@ func (e *Exp) singletonRTTs(id int) map[prefs.Client]time.Duration {
 
 	m := make(map[prefs.Client]time.Duration, len(e.d.TB.Topo.Targets))
 	for _, tg := range e.d.TB.Topo.Targets {
+		if !e.d.targetIncluded(tg.AS) {
+			continue
+		}
+		p.BeginTarget(uint64(tg.AS))
 		rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
 		if err != nil {
 			continue
@@ -545,7 +607,10 @@ func (d *Discovery) MeasureRTTs(siteIDs []int) (*RTTTable, error) {
 // blacked-out site. Fault-free campaigns never quarantine: an empty row
 // there is a measurement bug worth surfacing downstream, not an outage.
 func (d *Discovery) detectDeadSites(siteIDs []int, rows []map[prefs.Client]time.Duration) {
-	if !d.Cfg.Faults.Enabled() {
+	if !d.Cfg.Faults.Enabled() || d.Cfg.TargetFilter != nil {
+		// Under a target filter an empty (or tiny) row says nothing about
+		// the site; cone repairs inherit quarantine from the snapshot they
+		// patch via RestoreQuarantine.
 		return
 	}
 	for i, id := range siteIDs {
@@ -588,6 +653,10 @@ func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 			p := e.proberAt(sim, bgp.PrefixID(i), int64(i))
 			m := make(map[prefs.Client]time.Duration, len(d.TB.Topo.Targets))
 			for _, tg := range d.TB.Topo.Targets {
+				if !d.targetIncluded(tg.AS) {
+					continue
+				}
+				p.BeginTarget(uint64(tg.AS))
 				rtt, err := p.RTT(site.TunnelKey, site.TunnelAddr, site.TunnelRTT, tg.Addr)
 				if err != nil {
 					continue
@@ -882,6 +951,31 @@ func (s Schedule) PairwiseHours() float64 {
 // TotalDays returns the total campaign length in days.
 func (s Schedule) TotalDays() float64 {
 	return (s.SingletonHours() + s.PairwiseHours()) / 24
+}
+
+// Patch builds a new table in which every client selected by cone is
+// replaced by (or, when absent there, dropped in favor of) its entry in
+// patch, per site. Clients outside the cone keep their RTTs from t. Neither
+// input is modified — the result is a fresh copy-on-write table for
+// publication through PatchCampaign.
+func (t *RTTTable) Patch(patch *RTTTable, cone func(prefs.Client) bool) *RTTTable {
+	out := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(t.bySite))}
+	for site, m := range t.bySite {
+		row := make(map[prefs.Client]time.Duration, len(m))
+		for c, d := range m {
+			if cone(c) {
+				continue
+			}
+			row[c] = d
+		}
+		for c, d := range patch.bySite[site] {
+			if cone(c) {
+				row[c] = d
+			}
+		}
+		out.bySite[site] = row
+	}
+	return out
 }
 
 // Export serializes the table as site → client → RTT nanoseconds.

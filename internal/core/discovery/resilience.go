@@ -207,12 +207,23 @@ var errQuorumPending = errors.New("discovery: quorum pending")
 // runQuorum runs one experiment to an accepted result. Fault-free it is a
 // single attempt, exactly the pre-chaos behavior. With faults enabled it
 // re-runs the experiment — each attempt drawing fresh faults but reusing the
-// experiment's jitter nonce and noise seed — until K attempts agree exactly
-// (reflect.DeepEqual on the result). Because only the faults vary between
-// attempts, two attempts agreeing almost surely means the faults did not
-// affect either, so the quorum converges on the fault-free result. If no
-// quorum forms within N attempts the plurality result is accepted and the
-// degradation logged.
+// experiment's jitter nonce and noise seed — until K attempts agree exactly.
+// Because only the faults vary between attempts, two attempts agreeing almost
+// surely means the faults did not affect either, so the quorum converges on
+// the fault-free result.
+//
+// Results that decompose into per-target rows (maps keyed by client, or
+// slices of such maps) vote row by row: each row locks to the first value
+// that gathers K agreeing attempts, independent of every other row. Per-row
+// voting matters twice over. It converges far faster under hot fault rates —
+// a whole-result vote needs one attempt with zero faults across all targets,
+// a row vote only needs two clean samples per row. And it makes the accepted
+// row a pure function of (experiment nonce, target): a cone-scoped repair
+// probing 10% of the targets accepts byte-identical rows to the full
+// campaign, which is what the reconcile differential test checks. Rows that
+// never reach quorum within N attempts degrade to their plurality value and
+// the degradation is logged. Non-decomposable results keep whole-value
+// voting.
 func runQuorum[T any](d *Discovery, e *Exp, i int, run func(*Exp, int) T) (T, error) {
 	if !d.Cfg.Faults.Enabled() {
 		return runAttempt(d, e, i, 0, run)
@@ -229,6 +240,10 @@ func runQuorum[T any](d *Discovery, e *Exp, i int, run func(*Exp, int) T) (T, er
 	if backoff.Base <= 0 {
 		backoff.Base = time.Millisecond
 	}
+	if rt := reflect.TypeOf((*T)(nil)).Elem(); rt.Kind() == reflect.Map ||
+		(rt.Kind() == reflect.Slice && rt.Elem().Kind() == reflect.Map) {
+		return runRowQuorum(d, e, i, k, n, backoff, run)
+	}
 	type ballot struct {
 		val   T
 		count int
@@ -236,6 +251,9 @@ func runQuorum[T any](d *Discovery, e *Exp, i int, run func(*Exp, int) T) (T, er
 	var votes []ballot
 	accepted := -1
 	err := exec.Retry(context.Background(), n, backoff, func(attempt int) error {
+		if attempt > 0 {
+			d.quorumRetries.Add(1)
+		}
 		v, err := runAttempt(d, e, i, attempt, run)
 		if err != nil {
 			e.trace.Addf("exp %d attempt %d: %v", e.nonce, attempt, err)
@@ -276,6 +294,177 @@ func runQuorum[T any](d *Discovery, e *Exp, i int, run func(*Exp, int) T) (T, er
 	}
 	var zero T
 	return zero, fmt.Errorf("discovery: experiment %d failed all %d attempts: %w", e.nonce, n, err)
+}
+
+// rowKey identifies one row of a decomposable experiment result: the slice
+// slot (0 for plain maps) and the map key.
+type rowKey struct {
+	slot int
+	key  any
+}
+
+// rowBallot is one candidate value for a row with its vote count; present is
+// false for the "row absent in this attempt" vote.
+type rowBallot struct {
+	val     any
+	present bool
+	count   int
+}
+
+// rowVote tracks one row's ballots until a value gathers K votes and locks.
+// Every decision depends only on the row's own per-attempt value sequence —
+// never on other rows — which keeps accepted rows identical between filtered
+// and unfiltered campaigns.
+type rowVote struct {
+	ballots []rowBallot
+	locked  bool
+	final   rowBallot
+}
+
+func (rv *rowVote) add(val any, present bool, k int) {
+	if rv.locked {
+		return
+	}
+	for i := range rv.ballots {
+		b := &rv.ballots[i]
+		if b.present == present && (!present || reflect.DeepEqual(b.val, val)) {
+			b.count++
+			if b.count >= k {
+				rv.locked, rv.final = true, *b
+			}
+			return
+		}
+	}
+	rv.ballots = append(rv.ballots, rowBallot{val: val, present: present, count: 1})
+	if k <= 1 {
+		rv.locked, rv.final = true, rv.ballots[len(rv.ballots)-1]
+	}
+}
+
+// resolve returns the locked value, or the plurality ballot (earliest wins
+// ties) for a row that never reached quorum.
+func (rv *rowVote) resolve() rowBallot {
+	if rv.locked {
+		return rv.final
+	}
+	best := 0
+	for i := range rv.ballots {
+		if rv.ballots[i].count > rv.ballots[best].count {
+			best = i
+		}
+	}
+	return rv.ballots[best]
+}
+
+// eachRow visits every (slot, key, value) row of a map or slice-of-maps
+// result.
+func eachRow(v reflect.Value, sliced bool, visit func(rk rowKey, val any)) {
+	if sliced {
+		for s := 0; s < v.Len(); s++ {
+			m := v.Index(s)
+			for it := m.MapRange(); it.Next(); {
+				visit(rowKey{slot: s, key: it.Key().Interface()}, it.Value().Interface())
+			}
+		}
+		return
+	}
+	for it := v.MapRange(); it.Next(); {
+		visit(rowKey{key: it.Key().Interface()}, it.Value().Interface())
+	}
+}
+
+// runRowQuorum is runQuorum's per-row voting path for map-shaped results.
+func runRowQuorum[T any](d *Discovery, e *Exp, i, k, n int, backoff exec.Backoff, run func(*Exp, int) T) (T, error) {
+	rt := reflect.TypeOf((*T)(nil)).Elem()
+	sliced := rt.Kind() == reflect.Slice
+	rows := make(map[rowKey]*rowVote)
+	slots := 0 // observed slice length; schedule-fixed across attempts
+	attempts := 0
+	err := exec.Retry(context.Background(), n, backoff, func(attempt int) error {
+		if attempt > 0 {
+			d.quorumRetries.Add(1)
+		}
+		v, err := runAttempt(d, e, i, attempt, run)
+		if err != nil {
+			e.trace.Addf("exp %d attempt %d: %v", e.nonce, attempt, err)
+			return err
+		}
+		attempts = attempt + 1
+		rv := reflect.ValueOf(v)
+		if sliced && rv.Len() > slots {
+			slots = rv.Len()
+		}
+		seen := make(map[rowKey]bool)
+		eachRow(rv, sliced, func(rk rowKey, val any) {
+			vote := rows[rk]
+			if vote == nil {
+				vote = &rowVote{}
+				if attempt > 0 {
+					// The row was absent from every earlier attempt: those
+					// are implicit absent votes, backfilled so the ballot
+					// history matches what an unfiltered run records.
+					vote.ballots = append(vote.ballots, rowBallot{count: attempt})
+				}
+				rows[rk] = vote
+			}
+			seen[rk] = true
+			vote.add(val, true, k)
+		})
+		for rk, vote := range rows {
+			if !seen[rk] {
+				vote.add(nil, false, k)
+			}
+		}
+		// Done once every known row is locked and enough attempts ran that a
+		// row absent throughout would itself be quorate as absent.
+		if attempt+1 >= k {
+			for _, vote := range rows {
+				if !vote.locked {
+					return errQuorumPending
+				}
+			}
+			return nil
+		}
+		return errQuorumPending
+	})
+	var zero T
+	if attempts == 0 {
+		return zero, fmt.Errorf("discovery: experiment %d failed all %d attempts: %w", e.nonce, n, err)
+	}
+	unresolved := 0
+	for _, vote := range rows {
+		if !vote.locked {
+			unresolved++
+		}
+	}
+	if unresolved > 0 {
+		e.trace.Addf("exp %d: %d of %d rows lacked %d-of-%d quorum; accepted per-row plurality",
+			e.nonce, unresolved, len(rows), k, n)
+	}
+	if sliced {
+		out := reflect.MakeSlice(rt, slots, slots)
+		for rk, vote := range rows {
+			b := vote.resolve()
+			if !b.present {
+				continue
+			}
+			m := out.Index(rk.slot)
+			if m.IsNil() {
+				m.Set(reflect.MakeMap(rt.Elem()))
+			}
+			m.SetMapIndex(reflect.ValueOf(rk.key), reflect.ValueOf(b.val))
+		}
+		return out.Interface().(T), nil
+	}
+	out := reflect.MakeMapWithSize(rt, len(rows))
+	for rk, vote := range rows {
+		b := vote.resolve()
+		if !b.present {
+			continue
+		}
+		out.SetMapIndex(reflect.ValueOf(rk.key), reflect.ValueOf(b.val))
+	}
+	return out.Interface().(T), nil
 }
 
 // runAttempt runs a single experiment attempt on a private Exp carrying this

@@ -1,6 +1,9 @@
 package prefs
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // DumpedRelation is one (client, pair) relation in exportable form.
 type DumpedRelation struct {
@@ -12,11 +15,16 @@ type DumpedRelation struct {
 	Winner Item `json:"w,omitempty"`
 }
 
-// Dump exports every recorded relation, in deterministic (client, pair)
-// order, for persistence.
+// Dump exports every recorded relation, in canonical (client, pair) order,
+// for persistence. The order is sorted by client — not first-record order —
+// so two stores holding the same relations dump byte-identically even when
+// their clients were recorded in different sequences (a full campaign vs. a
+// cone-scoped repair that re-recorded only part of the client set).
 func (s *Store) Dump() []DumpedRelation {
+	clients := append([]Client(nil), s.clientOrder...)
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
 	var out []DumpedRelation
-	for _, c := range s.clientOrder {
+	for _, c := range clients {
 		cp := s.clients[c]
 		for a := 0; a < len(s.items); a++ {
 			for b := a + 1; b < len(s.items); b++ {

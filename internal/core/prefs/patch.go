@@ -1,0 +1,58 @@
+package prefs
+
+import "fmt"
+
+// PatchClients builds a new store over the same item universe in which every
+// client selected by cone is replaced wholesale by its row in patch — or
+// dropped, when patch holds no row for it (the client stopped responding
+// after the routing change). Clients outside the cone keep their rows from
+// s; clients that appear only in patch are added. Neither input store is
+// modified: the result is a fresh copy-on-write table, which is what lets
+// the reconciler publish it through PatchCampaign without ever exposing a
+// half-repaired row.
+//
+// patch must share s's exact item universe, since relation rows are indexed
+// by item position.
+func (s *Store) PatchClients(patch *Store, cone func(Client) bool) (*Store, error) {
+	if len(patch.items) != len(s.items) {
+		return nil, fmt.Errorf("prefs: patch item universe has %d items, base has %d", len(patch.items), len(s.items))
+	}
+	for i, it := range s.items {
+		if patch.items[i] != it {
+			return nil, fmt.Errorf("prefs: patch item %d is %d, base has %d", i, patch.items[i], it)
+		}
+	}
+	out := &Store{
+		items:   append([]Item(nil), s.items...),
+		index:   make(map[Item]int, len(s.items)),
+		clients: make(map[Client]*ClientPrefs),
+	}
+	for i, it := range out.items {
+		out.index[it] = i
+	}
+	copyRow := func(c Client, from *ClientPrefs) {
+		cp := out.client(c)
+		copy(cp.rel, from.rel)
+	}
+	// Base clients first (preserving base insertion order), then patch-only
+	// clients. Dump() sorts by client, so this order never reaches the
+	// serialized form; it only keeps iteration deterministic.
+	for _, c := range s.clientOrder {
+		if cone(c) {
+			if row := patch.clients[c]; row != nil {
+				copyRow(c, row)
+			}
+			continue
+		}
+		copyRow(c, s.clients[c])
+	}
+	for _, c := range patch.clientOrder {
+		if !cone(c) {
+			return nil, fmt.Errorf("prefs: patch holds client %d outside the cone", c)
+		}
+		if out.clients[c] == nil {
+			copyRow(c, patch.clients[c])
+		}
+	}
+	return out, nil
+}

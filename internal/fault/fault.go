@@ -221,6 +221,7 @@ const (
 	saltProbe   = 0x70726f62 // "prob"
 	saltPlan    = 0x706c616e // "plan"
 	saltSession = 0x73657373 // "sess"
+	saltChurn   = 0x63687572 // "chur"
 )
 
 // mix folds (seed, nonce, attempt, salt) into a 63-bit stream seed with a
@@ -326,6 +327,18 @@ func (inj *Injector) FlapPlan(links []topology.LinkID) []Flap {
 			inj.nonce, inj.attempt, fl.Link, fl.DownAt, fl.UpAt)
 	}
 	return flaps
+}
+
+// BeginTarget rewinds the probe-loss stream to a position derived only from
+// (seed, nonce, attempt, target id), making loss draws for one target
+// independent of which other targets an experiment probed before it. It is
+// the fault-side half of probe.TargetSeeder; the measurement fabric invokes
+// it alongside the noise model's reseed.
+func (inj *Injector) BeginTarget(id uint64) {
+	if inj == nil {
+		return
+	}
+	inj.probe.Seed(mix(inj.cfg.Seed, inj.nonce, inj.attempt, saltProbe^(id*0x9e3779b97f4a7c15)))
 }
 
 // DropProbe decides whether one measurement-packet traversal is lost. It is

@@ -50,10 +50,11 @@ type AtomicGuard struct {
 }
 
 // DefaultAtomicGuards pins the System's snapshot pointer and generation
-// counter to InstallCampaign, the single campaign write point.
+// counter to the two campaign write points: InstallCampaign (full campaigns)
+// and PatchCampaign (reconciler row patches).
 var DefaultAtomicGuards = []AtomicGuard{
-	{Struct: "anyopt.System", Field: "snap", Writers: map[string]bool{"InstallCampaign": true}},
-	{Struct: "anyopt.System", Field: "gen", Writers: map[string]bool{"InstallCampaign": true}},
+	{Struct: "anyopt.System", Field: "snap", Writers: map[string]bool{"InstallCampaign": true, "PatchCampaign": true}},
+	{Struct: "anyopt.System", Field: "gen", Writers: map[string]bool{"InstallCampaign": true, "PatchCampaign": true}},
 }
 
 // atomicMethods are the sync/atomic value methods; mutating ones are marked

@@ -44,6 +44,7 @@ var DefaultPackages = []string{
 	"./internal/netproto",
 	"./internal/core/discovery",
 	"./internal/core/splpo",
+	"./internal/reconcile",
 }
 
 // Site identifies one class of heap escape: a message the compiler emits for

@@ -69,6 +69,12 @@ var DefaultPolicies = []PolicyRule{
 	{"anyopt/internal/core/splpo", sim},
 	{"anyopt/internal/probe", sim},
 
+	// The churn reconciler computes cones and patches snapshots — pure
+	// derivation from topology state and measurement results. Its entropy
+	// budget is zero (churn planning entropy lives in internal/fault) and its
+	// goroutine budget is zero (the background loop lives in internal/api).
+	{"anyopt/internal/reconcile", simPure},
+
 	// The fault injector is the only package on the simulated transport path
 	// allowed to own chaos entropy; every stream it holds is derived from
 	// (seed, nonce, attempt).

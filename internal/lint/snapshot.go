@@ -73,9 +73,10 @@ func (r SnapshotRule) pkgPath() string {
 }
 
 // DefaultSnapshotRules protects anyopt.Snapshot, the lock-free serving
-// path's load-bearing immutable: InstallCampaign is its single write point.
+// path's load-bearing immutable: InstallCampaign and its row-patching sibling
+// PatchCampaign are its only write points.
 var DefaultSnapshotRules = []SnapshotRule{
-	{Type: "anyopt.Snapshot", Writers: map[string]bool{"InstallCampaign": true}},
+	{Type: "anyopt.Snapshot", Writers: map[string]bool{"InstallCampaign": true, "PatchCampaign": true}},
 }
 
 type snapImmutChecker struct {

@@ -195,6 +195,16 @@ func (f *SimFabric) probe(req []byte, sentAt time.Duration) ([]byte, time.Durati
 	return f.wireBuf, sentAt + fwdDelay + retDelay + tunnelBack, nil
 }
 
+// BeginTarget rewinds the fabric's noise stream — and the fault injector's
+// probe-loss stream, when the injected FaultModel supports it — to the
+// position derived from the target identity. See Prober.BeginTarget.
+func (f *SimFabric) BeginTarget(id uint64) {
+	f.Noise.BeginTarget(id)
+	if ts, ok := f.Fault.(TargetSeeder); ok {
+		ts.BeginTarget(id)
+	}
+}
+
 // noise perturbs one traversal leg: injected fault loss first, then the
 // baseline noise model.
 func (f *SimFabric) noise(d time.Duration) (time.Duration, bool) {

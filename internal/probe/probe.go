@@ -110,6 +110,23 @@ func New(fabric Fabric, cfg Config, start time.Duration) *Prober {
 // Clock returns the prober's current virtual time.
 func (p *Prober) Clock() time.Duration { return p.clock }
 
+// TargetSeeder is implemented by fabrics (and fault models) whose random
+// streams can be rewound to a per-target position, making each target's
+// measurement independent of probe order.
+type TargetSeeder interface {
+	BeginTarget(id uint64)
+}
+
+// BeginTarget marks the start of probing one target, rewinding the fabric's
+// noise/fault streams to that target's position if the fabric supports it.
+// Callers that probe a subset of targets rely on this for reproducibility
+// against a full sweep.
+func (p *Prober) BeginTarget(id uint64) {
+	if ts, ok := p.fabric.(TargetSeeder); ok {
+		ts.BeginTarget(id)
+	}
+}
+
 // buildEcho constructs the inner IPv4(ICMP echo request) with the anycast
 // source address and a transmit timestamp. The returned packet aliases the
 // prober's scratch buffer, valid until the next buildEcho call.
@@ -294,7 +311,8 @@ type FaultModel interface {
 // NoiseModel injects measurement noise into path delays, as the real
 // Internet would.
 type NoiseModel struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	seed int64
 	// JitterFrac scales multiplicative jitter (|N(0,1)|·frac of the delay).
 	JitterFrac float64
 	// SpikeProb is the chance of a queuing spike per traversal.
@@ -310,11 +328,33 @@ type NoiseModel struct {
 func NewNoiseModel(seed int64, jitterFrac, spikeProb float64, spikeMax time.Duration, lossProb float64) *NoiseModel {
 	return &NoiseModel{
 		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
 		JitterFrac: jitterFrac,
 		SpikeProb:  spikeProb,
 		SpikeMax:   spikeMax,
 		LossProb:   lossProb,
 	}
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator, used to fold a
+// target identity into a noise seed with full avalanche.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// BeginTarget rewinds the noise stream to a position derived only from the
+// model's base seed and the given target identity. Draws for one target are
+// then independent of which (or how many) other targets were probed before
+// it — the property that lets a cone-scoped repair campaign skip targets and
+// still reproduce the full campaign's measurements byte-for-byte.
+func (n *NoiseModel) BeginTarget(id uint64) {
+	if n == nil {
+		return
+	}
+	n.rng.Seed(int64(splitmix64(uint64(n.seed)^id) >> 1))
 }
 
 // DefaultNoise matches a well-behaved Internet path: ~2% jitter, occasional

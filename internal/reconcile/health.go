@@ -1,0 +1,95 @@
+package reconcile
+
+import "fmt"
+
+// Health is the reconciler's serving-quality state, exposed per /v1/predict
+// response so consumers can weigh answers by how well the campaign tracks the
+// live topology.
+type Health uint8
+
+const (
+	// HealthFresh: every served row reflects the current topology.
+	HealthFresh Health = iota
+	// HealthReconciling: churn has been detected and marked; repair is
+	// pending or in flight. Rows in the cone are served stale-flagged.
+	HealthReconciling
+	// HealthDegraded: at least one repair failed or left quarantined cones;
+	// stale rows persist beyond a single repair cycle.
+	HealthDegraded
+	// HealthStale: repeated repair failures — stale rows should be treated
+	// as historical data, not predictions.
+	HealthStale
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthFresh:
+		return "fresh"
+	case HealthReconciling:
+		return "reconciling"
+	case HealthDegraded:
+		return "degraded"
+	case HealthStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("health(%d)", uint8(h))
+	}
+}
+
+// Machine is the reconciler health state machine:
+//
+//	fresh ──churn──▶ reconciling ──clean repair──▶ fresh
+//	                     │  ▲
+//	     failed/partial  │  │ churn (from degraded too)
+//	                     ▼  │
+//	                  degraded ──MaxFailures consecutive failures──▶ stale
+//	                                                                   │
+//	        stale ◀────────────────────────────────────────────────────┘
+//	          └──clean repair──▶ fresh
+//
+// A "clean repair" is one that returned no error and left zero stale rows;
+// anything else counts as a failure cycle. The machine is not safe for
+// concurrent use — the api layer serializes transitions with its writer lock.
+type Machine struct {
+	// MaxFailures is the number of consecutive failed repair cycles after
+	// which the machine degrades to stale (default 3).
+	MaxFailures int
+
+	state    Health
+	failures int
+}
+
+// State returns the current health state.
+func (m *Machine) State() Health { return m.state }
+
+// Failures returns the consecutive failed repair cycles.
+func (m *Machine) Failures() int { return m.failures }
+
+// OnChurn records a detected routing change: fresh or degraded serving
+// becomes reconciling; stale stays stale (more churn cannot improve matters).
+func (m *Machine) OnChurn() {
+	if m.state != HealthStale {
+		m.state = HealthReconciling
+	}
+}
+
+// OnRepair records the outcome of one repair cycle: err is the repair's
+// error (nil on success) and staleRows the number of rows still stale after
+// publication (quarantined cones, merged-in unrepaired churn).
+func (m *Machine) OnRepair(staleRows int, err error) {
+	if err == nil && staleRows == 0 {
+		m.state = HealthFresh
+		m.failures = 0
+		return
+	}
+	m.failures++
+	limit := m.MaxFailures
+	if limit <= 0 {
+		limit = 3
+	}
+	if m.failures >= limit {
+		m.state = HealthStale
+		return
+	}
+	m.state = HealthDegraded
+}

@@ -1,0 +1,121 @@
+package reconcile
+
+import (
+	"sort"
+
+	"anyopt/internal/bgp"
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/probe"
+	"anyopt/internal/testbed"
+)
+
+// walkerNonce is the jitter nonce of every walker simulation. It lives in the
+// top half of the nonce space, disjoint from campaign nonces (which count up
+// from zero) and from ad-hoc measurement sessions (which stride the lower
+// half in 2³² blocks) — the walker's races never alias an experiment's.
+const walkerNonce = 1<<63 | 0x77616c6b // "walk"
+
+// CatchmentWalker memoizes the full-deployment catchment map (every site
+// announced simultaneously) and diffs it across routing churn. The diff is
+// the observability half of cone inference: any client whose catchment
+// demonstrably moved joins the cone even if the structural walk somehow
+// missed it, so repair correctness never rests on the graph analysis alone.
+//
+// The walker runs noise-free and fault-free — catchment is a pure function of
+// converged routing state — and on its own private jitter nonce, so a walk
+// never perturbs or aliases campaign measurements. A cold walker (no memo
+// yet) contributes nothing and the cone degrades to the structural
+// over-approximation.
+type CatchmentWalker struct {
+	tb  *testbed.Testbed
+	cfg bgp.Config
+
+	// memo is the last observed full-deployment catchment (client → site
+	// ID); nil until the first Refresh.
+	memo map[prefs.Client]int
+}
+
+// NewCatchmentWalker builds a walker over tb using the campaign's simulator
+// configuration (chaos and per-experiment nonce are replaced).
+func NewCatchmentWalker(tb *testbed.Testbed, simCfg bgp.Config) *CatchmentWalker {
+	return &CatchmentWalker{tb: tb, cfg: simCfg}
+}
+
+// Warm reports whether the walker holds a memoized catchment map.
+func (w *CatchmentWalker) Warm() bool { return w.memo != nil }
+
+// walk measures every target's catchment under a simultaneous all-sites
+// deployment on the topology's current state.
+func (w *CatchmentWalker) walk() map[prefs.Client]int {
+	cfg := w.cfg
+	cfg.JitterNonce = walkerNonce
+	cfg.Chaos = nil
+	sim := bgp.New(w.tb.Topo, cfg)
+	for _, id := range w.tb.Topo.DownLinks() {
+		sim.FailLink(id)
+	}
+	ids := make([]int, len(w.tb.Sites))
+	for i, s := range w.tb.Sites {
+		ids[i] = s.ID
+	}
+	dep := w.tb.NewDeployment(sim, 0)
+	dep.AnnounceSitesSimultaneously(ids...)
+	p := probe.New(
+		probe.NewSimFabric(w.tb, sim, 0, nil),
+		probe.DefaultConfig(w.tb.OrchAddr, w.tb.AnycastAddrs[0]),
+		sim.Engine.Now(),
+	)
+	out := make(map[prefs.Client]int, len(w.tb.Topo.Targets))
+	for _, tg := range w.tb.Topo.Targets {
+		key, err := p.Catchment(tg.Addr)
+		if err != nil {
+			continue
+		}
+		if site := w.tb.SiteByTunnelKey(key); site != nil {
+			out[prefs.Client(tg.AS)] = site.ID
+		}
+	}
+	return out
+}
+
+// Refresh memoizes the current topology's full-deployment catchment — call it
+// after campaign installation (pre-churn baseline) and after each repair (the
+// healed state becomes the next baseline).
+func (w *CatchmentWalker) Refresh() { w.memo = w.walk() }
+
+// ObservedChanges walks the post-churn topology, returns every client whose
+// catchment differs from the memo (moved, appeared, or disappeared), and
+// re-memoizes the new state. A cold walker returns nil without memoizing —
+// callers fall back to the structural cone and Refresh explicitly once a
+// trusted baseline exists.
+func (w *CatchmentWalker) ObservedChanges() []prefs.Client {
+	if w.memo == nil {
+		return nil
+	}
+	next := w.walk()
+	var changed []prefs.Client
+	for c, site := range next {
+		if old, ok := w.memo[c]; !ok || old != site {
+			changed = append(changed, c)
+		}
+	}
+	for c := range w.memo {
+		if _, ok := next[c]; !ok {
+			changed = append(changed, c)
+		}
+	}
+	w.memo = next
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	return changed
+}
+
+// ExpandCone unions the walker's observed changes into cone, counting the
+// clients the structural walk had missed.
+func (w *CatchmentWalker) ExpandCone(cone *Cone) {
+	for _, c := range w.ObservedChanges() {
+		if !cone.Clients[c] {
+			cone.Clients[c] = true
+			cone.Observed++
+		}
+	}
+}

@@ -16,6 +16,7 @@ package topology
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"anyopt/internal/geo"
@@ -222,6 +223,12 @@ type Topology struct {
 
 	nextASN    ASN
 	nextLinkID LinkID
+
+	// down marks links taken out of service by persistent routing churn
+	// (fault.ApplyChurn). Unlike an injected mid-experiment flap, a down link
+	// stays down across experiments until a ChurnLinkUp restores it; every
+	// fresh or reset simulator session re-fails these links before running.
+	down map[LinkID]bool
 }
 
 // NewEmpty returns an empty topology ready for manual construction via AddAS
@@ -279,6 +286,39 @@ func (t *Topology) AddLink(from, to ASN, rel Relationship, fromPoP, toPoP int) *
 	t.adj[from] = append(t.adj[from], l)
 	t.adj[to] = append(t.adj[to], l)
 	return l
+}
+
+// SetLinkDown marks a link persistently down (or restores it). Down links
+// survive simulator resets: discovery re-fails them in every session, so the
+// state models a long-lived outage rather than a transient flap.
+func (t *Topology) SetLinkDown(id LinkID, down bool) {
+	if t.Link(id) == nil {
+		panic(fmt.Sprintf("topology: SetLinkDown on unknown link %d", id))
+	}
+	if down {
+		if t.down == nil {
+			t.down = make(map[LinkID]bool)
+		}
+		t.down[id] = true
+		return
+	}
+	delete(t.down, id)
+}
+
+// LinkIsDown reports whether the link is persistently down.
+func (t *Topology) LinkIsDown(id LinkID) bool { return t.down[id] }
+
+// DownLinks returns the persistently-down link IDs in ascending order.
+func (t *Topology) DownLinks() []LinkID {
+	if len(t.down) == 0 {
+		return nil
+	}
+	out := make([]LinkID, 0, len(t.down))
+	for id := range t.down {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // NearestPoP returns the index of the PoP of a closest to c, or -1 when the

@@ -1,0 +1,146 @@
+package anyopt
+
+// Warm reoptimization across skipped snapshot generations: the reconciler can
+// publish several patched generations between optimizer runs (gen 3 → 7), so
+// the warm path must diff rows against whatever generation it last saw — and
+// fall back to a cold restart on any population-shape change — but never
+// reuse stale delta state.
+
+import (
+	"testing"
+	"time"
+
+	"anyopt/internal/core/discovery"
+	"anyopt/internal/core/predict"
+	"anyopt/internal/core/prefs"
+)
+
+// republish installs the snapshot's own campaign again n times, advancing the
+// generation with zero row churn.
+func republish(sys *System, n int) *Snapshot {
+	snap := sys.CurrentSnapshot()
+	for i := 0; i < n; i++ {
+		snap = sys.InstallCampaign(snap.Pred, snap.RTT, snap.AnnOrder, snap.Experiments, snap.Quarantined)
+	}
+	return snap
+}
+
+func TestWarmOptimizerSkippedGenerations(t *testing.T) {
+	// A private system: this test republishes perturbed campaigns and must
+	// not pollute the shared fixture.
+	sys, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	opts := OptimizeOptions{K: 6, TimeBudget: time.Second}
+
+	w := NewWarmOptimizer()
+	base, _, err := w.Reoptimize(sys.CurrentSnapshot(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startGen := w.Gen()
+
+	// Jump several identical generations at once: the warm diff must see zero
+	// changed rows and keep the optimum, never treating the gap itself as
+	// churn.
+	snap := republish(sys, 4)
+	if snap.Gen < startGen+4 {
+		t.Fatalf("gen %d, want >= %d", snap.Gen, startGen+4)
+	}
+	res, raw, err := w.Reoptimize(snap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Patched != 0 {
+		t.Errorf("identical campaign republished %d gens ahead patched %d clients", snap.Gen-startGen, raw.Patched)
+	}
+	if res.PredictedMean != base.PredictedMean {
+		t.Errorf("skip over identical gens moved the optimum: %v vs %v", res.PredictedMean, base.PredictedMean)
+	}
+
+	// Perturb one client's RTT rows, again skipping generations between
+	// optimizer runs. The warm diff must patch exactly the changed client and
+	// land on the same optimum a cold solver finds on the new snapshot.
+	export := snap.RTT.Export()
+	var victim prefs.Client
+	for _, row := range export {
+		for c := range row {
+			if c > victim {
+				victim = c
+			}
+		}
+	}
+	for site := range export {
+		if _, ok := export[site][victim]; ok {
+			export[site][victim] += 40_000_000 // +40ms
+		}
+	}
+	newRTT := discovery.ImportRTTTable(export)
+	newPred := &predict.Predictor{
+		TB:              snap.Pred.TB,
+		Providers:       snap.Pred.Providers,
+		Sites:           snap.Pred.Sites,
+		RTT:             newRTT,
+		UseRTTHeuristic: snap.Pred.UseRTTHeuristic,
+	}
+	sys.InstallCampaign(newPred, newRTT, snap.AnnOrder, snap.Experiments, snap.Quarantined)
+	snap2 := republish(sys, 2) // skip two more identical gens on top
+	res2, raw2, err := w.Reoptimize(snap2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw2.Patched == 0 {
+		t.Error("perturbed RTT row not detected across skipped generations")
+	}
+	cold, _, err := NewWarmOptimizer().Reoptimize(snap2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PredictedMean != cold.PredictedMean {
+		t.Errorf("warm across skipped gens diverged from cold: %v vs %v", res2.PredictedMean, cold.PredictedMean)
+	}
+
+	// Population-shape change (a client disappears from the provider store):
+	// the row diff is meaningless, so the warm path must cold-restart — and
+	// still match a from-scratch solve — rather than reuse stale delta state.
+	empty, err := prefs.NewStore(snap2.Pred.Providers.Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := snap2.Pred.Providers.PatchClients(empty, func(c prefs.Client) bool { return c == victim })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shrunk.Clients()) != len(snap2.Pred.Providers.Clients())-1 {
+		t.Fatalf("victim client %d not dropped from provider store", victim)
+	}
+	shrunkPred := &predict.Predictor{
+		TB:              snap2.Pred.TB,
+		Providers:       shrunk,
+		Sites:           snap2.Pred.Sites,
+		RTT:             snap2.RTT,
+		UseRTTHeuristic: snap2.Pred.UseRTTHeuristic,
+	}
+	snap3 := sys.InstallCampaign(shrunkPred, snap2.RTT, snap2.AnnOrder, snap2.Experiments, snap2.Quarantined)
+	res3, raw3, err := w.Reoptimize(snap3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw3.Patched != 0 {
+		t.Errorf("population-shape change took the incremental path (%d patched)", raw3.Patched)
+	}
+	cold3, _, err := NewWarmOptimizer().Reoptimize(snap3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.PredictedMean != cold3.PredictedMean {
+		t.Errorf("cold fallback diverged from from-scratch solve: %v vs %v", res3.PredictedMean, cold3.PredictedMean)
+	}
+	if w.Gen() != snap3.Gen {
+		t.Errorf("warm gen %d, want %d", w.Gen(), snap3.Gen)
+	}
+}
