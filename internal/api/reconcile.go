@@ -32,6 +32,7 @@ import (
 	"anyopt/internal/core/prefs"
 	"anyopt/internal/fault"
 	"anyopt/internal/reconcile"
+	"anyopt/internal/topology"
 )
 
 // reconciler is the server's churn-reconciliation state.
@@ -226,6 +227,7 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	s.writeMu.Unlock()
 
 	var ckptID string
+	var journalErr error
 	if ck := s.recCheckpoint(); ck != nil {
 		raw, _ := json.Marshal(events)
 		ckptID = fmt.Sprintf("churn-%d", patched.Gen)
@@ -234,14 +236,21 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 			Clients: cone.SortedClients(),
 			Events:  raw,
 		}); err != nil {
-			writeErr(w, http.StatusInternalServerError, "journaling churn: %v", err)
-			return
+			// The churn is already live and the stale marks are published;
+			// aborting here would strand the cone stale forever. Repair
+			// without a journal record — only crash-resumability for this one
+			// cone is lost — and surface the failure to the caller.
+			journalErr = fmt.Errorf("journaling churn: %w", err)
+			ckptID = ""
 		}
 	}
 
 	s.rec.mu.Lock()
 	s.rec.machine.OnChurn()
 	s.rec.churnBatches++
+	if journalErr != nil {
+		s.rec.lastError = journalErr.Error()
+	}
 	health := s.rec.machine.State()
 	s.rec.mu.Unlock()
 
@@ -256,6 +265,9 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 		"stale_rows":    len(staleRows),
 		"snapshot_gen":  patched.Gen,
 		"health":        health.String(),
+	}
+	if journalErr != nil {
+		body["journal_error"] = journalErr.Error()
 	}
 	if r.URL.Query().Get("sync") == "1" {
 		s.runRepairCycle()
@@ -331,7 +343,9 @@ func (s *Server) runRepairCycle() {
 	// cur may carry stale marks from churn that arrived after our cone was
 	// taken; ClearRepaired keeps them (their repair is still queued) and
 	// clears only the rows this repair re-measured on the live topology.
-	staleRows := reconcile.ClearRepaired(cur.StaleRows, cone)
+	// snap.Gen gates the overlap: a cone client re-marked at snap.Gen or later
+	// was churned after our measurement baseline, so its mark survives too.
+	staleRows := reconcile.ClearRepaired(cur.StaleRows, cone, snap.Gen)
 	patched := s.sys.PatchCampaign(res.Pred, res.RTT, res.AnnOrder, res.Experiments, res.Quarantined, staleRows)
 	s.writeMu.Unlock()
 
@@ -439,11 +453,23 @@ func (s *Server) ResumePendingRepairs() (int, error) {
 	for id := range pend {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	// Replay in generation order, not lexicographic id order ("churn-10"
+	// sorts before "churn-2"): churn events carry absolute values, so
+	// re-applying records that touch the same link or AS out of order would
+	// reconstruct a topology different from the pre-crash one.
+	sort.Slice(ids, func(i, j int) bool {
+		gi, gj := pend[ids[i]].Gen, pend[ids[j]].Gen
+		if gi != gj {
+			return gi < gj
+		}
+		return ids[i] < ids[j]
+	})
 
 	cone := &reconcile.Cone{
 		Clients: make(map[prefs.Client]bool),
-		ASes:    nil,
+		// No journaled AS walk to restore; must still be non-nil so a churn
+		// arriving before the resumed repair drains can Merge into it.
+		ASes: make(map[topology.ASN]bool),
 	}
 	s.topoMu.Lock()
 	for _, id := range ids {

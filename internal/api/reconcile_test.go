@@ -10,10 +10,16 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"anyopt"
+	"anyopt/internal/campaign"
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/fault"
 )
 
 // discoveredChurnServer builds a private discovered server. Churn mutates the
@@ -350,5 +356,95 @@ func TestReconcileResume(t *testing.T) {
 	srvC.SetCheckpointDir(dir)
 	if n, err := srvC.ResumePendingRepairs(); err != nil || n != 0 {
 		t.Errorf("second resume: n=%d err=%v, want 0 resumed", n, err)
+	}
+}
+
+// TestResumeReplaysPatchesInGenOrder journals two pending patch records whose
+// lexicographic id order ("churn-10" < "churn-2") inverts their generation
+// order. Churn events carry absolute values, so replaying them out of order
+// would reconstruct a post-crash topology different from the pre-crash one; a
+// correct resume replays by generation and the later record's value wins. It
+// also covers the resume-then-churn race: a churn arriving while the resumed
+// cone is still queued must merge into it without panicking on the cone's
+// unjournaled AS set.
+func TestResumeReplaysPatchesInGenOrder(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := discoveredChurnServer(t)
+	link := srv.sys.Topo.Links[0]
+	client := prefs.Client(srv.sys.Topo.Targets[0].AS)
+
+	ck, err := campaign.NewCheckpoint(filepath.Join(dir, "reconcile.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evOld, _ := json.Marshal([]fault.ChurnEvent{
+		{Kind: fault.ChurnLinkCost, Link: link.ID, NewDelay: 5 * time.Millisecond},
+	})
+	evNew, _ := json.Marshal([]fault.ChurnEvent{
+		{Kind: fault.ChurnLinkCost, Link: link.ID, NewDelay: 9 * time.Millisecond},
+	})
+	if err := ck.RecordPatchPending("churn-2", campaign.PatchRecord{
+		Gen: 2, Clients: []prefs.Client{client}, Events: evOld,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.RecordPatchPending("churn-10", campaign.PatchRecord{
+		Gen: 10, Clients: []prefs.Client{client}, Events: evNew,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.SetCheckpointDir(dir)
+	// Hold the repair lock so the resumed cone stays queued: the churn below
+	// must merge into it instead of racing the background drain.
+	srv.rec.repairMu.Lock()
+	defer srv.rec.repairMu.Unlock()
+
+	n, err := srv.ResumePendingRepairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("resumed %d records, want 2", n)
+	}
+	if link.Delay != 9*time.Millisecond {
+		t.Errorf("replayed link delay = %v, want 9ms (the gen-10 record's value)", link.Delay)
+	}
+
+	if code, got := postJSON(t, ts.URL+"/v1/churn", `{"seed":11}`); code != http.StatusAccepted {
+		t.Fatalf("churn while resumed cone queued: status %d: %v", code, got)
+	}
+}
+
+// TestChurnJournalFailureStillRepairs breaks the reconcile journal out from
+// under an already-applied churn: the stale marks are published and the
+// topology mutated, so aborting would strand the cone stale forever. The
+// handler must surface the journaling error but still queue (and here,
+// synchronously drain) the repair.
+func TestChurnJournalFailureStillRepairs(t *testing.T) {
+	srv, ts := discoveredChurnServer(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetCheckpointDir(dir)
+	if srv.recCheckpoint() == nil {
+		t.Fatal("checkpoint did not open")
+	}
+	// The checkpoint is open; removing its directory makes the next persist
+	// (the pending-patch record) fail.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	code, got := postJSON(t, ts.URL+"/v1/churn?sync=1", `{"seed":7}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("churn status %d: %v", code, got)
+	}
+	if got["journal_error"] == nil {
+		t.Error("journaling failure not surfaced in the response")
+	}
+	if got["health"] != "fresh" || got["stale_rows"].(float64) != 0 || got["repairs"].(float64) != 1 {
+		t.Errorf("journal failure aborted the repair path: %v", got)
 	}
 }

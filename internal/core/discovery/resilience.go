@@ -321,6 +321,23 @@ type rowVote struct {
 	final   rowBallot
 }
 
+// backfillAbsent seeds a fresh rowVote with the implicit absent votes of the
+// first `attempts` attempts, for a row first observed only later. The ballot
+// locks immediately when those attempts already form an absent quorum —
+// exactly as add would have locked it had the votes been cast one at a time —
+// so a row absent for the first K+ attempts resolves absent even if a value
+// appears afterwards (first-value-to-K-votes semantics).
+func (rv *rowVote) backfillAbsent(attempts, k int) {
+	if attempts <= 0 {
+		return
+	}
+	b := rowBallot{count: attempts}
+	rv.ballots = append(rv.ballots, b)
+	if attempts >= k {
+		rv.locked, rv.final = true, b
+	}
+}
+
 func (rv *rowVote) add(val any, present bool, k int) {
 	if rv.locked {
 		return
@@ -399,12 +416,10 @@ func runRowQuorum[T any](d *Discovery, e *Exp, i, k, n int, backoff exec.Backoff
 			vote := rows[rk]
 			if vote == nil {
 				vote = &rowVote{}
-				if attempt > 0 {
-					// The row was absent from every earlier attempt: those
-					// are implicit absent votes, backfilled so the ballot
-					// history matches what an unfiltered run records.
-					vote.ballots = append(vote.ballots, rowBallot{count: attempt})
-				}
+				// The row was absent from every earlier attempt: those are
+				// implicit absent votes, backfilled so the ballot history
+				// matches what an unfiltered run records.
+				vote.backfillAbsent(attempt, k)
 				rows[rk] = vote
 			}
 			seen[rk] = true

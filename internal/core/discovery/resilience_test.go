@@ -1,0 +1,40 @@
+package discovery
+
+import "testing"
+
+// TestRowVoteBackfillAbsentQuorum pins the first-value-to-K-votes semantics
+// for rows first observed after attempt 0: the backfilled implicit absent
+// votes count toward quorum exactly as if they had been cast one at a time.
+func TestRowVoteBackfillAbsentQuorum(t *testing.T) {
+	const k = 3
+
+	// Absent for the first k attempts: the absent side reached quorum before
+	// the value ever appeared, so the ballot locks absent immediately — a
+	// value showing up later must not gather k present votes and win.
+	rv := &rowVote{}
+	rv.backfillAbsent(k, k)
+	if !rv.locked {
+		t.Fatal("k backfilled absent votes did not lock the ballot")
+	}
+	for i := 0; i < k; i++ {
+		rv.add(42, true, k)
+	}
+	if got := rv.resolve(); got.present {
+		t.Fatalf("row resolved %+v, want locked absent", got)
+	}
+
+	// Below quorum the backfill is plain ballot history: a value present on
+	// every subsequent attempt reaches k votes first and wins.
+	rv = &rowVote{}
+	rv.backfillAbsent(k-1, k)
+	if rv.locked {
+		t.Fatal("k-1 backfilled absent votes locked early")
+	}
+	for i := 0; i < k; i++ {
+		rv.add(42, true, k)
+	}
+	got := rv.resolve()
+	if !rv.locked || !got.present || got.val != 42 {
+		t.Fatalf("row resolved %+v, want locked present 42", got)
+	}
+}

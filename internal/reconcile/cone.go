@@ -53,10 +53,18 @@ func (c *Cone) SortedClients() []prefs.Client {
 }
 
 // Merge folds other into c (set union), for coalescing repairs when several
-// churn batches queue up behind one repair pass.
+// churn batches queue up behind one repair pass. Nil maps in c are allocated
+// lazily, so a minimally-constructed cone (e.g. one rebuilt from a checkpoint,
+// which has no AS walk to restore) is a valid merge target.
 func (c *Cone) Merge(other *Cone) {
+	if c.Clients == nil && len(other.Clients) > 0 {
+		c.Clients = make(map[prefs.Client]bool, len(other.Clients))
+	}
 	for cl := range other.Clients {
 		c.Clients[cl] = true
+	}
+	if c.ASes == nil && len(other.ASes) > 0 {
+		c.ASes = make(map[topology.ASN]bool, len(other.ASes))
 	}
 	for a := range other.ASes {
 		c.ASes[a] = true

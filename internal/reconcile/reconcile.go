@@ -147,12 +147,18 @@ func MarkStale(prev map[prefs.Client]uint64, cone *Cone, gen uint64) map[prefs.C
 	return out
 }
 
-// ClearRepaired returns prev with every cone client's staleness cleared, nil
-// when nothing remains. prev is not modified.
-func ClearRepaired(prev map[prefs.Client]uint64, cone *Cone) map[prefs.Client]uint64 {
+// ClearRepaired returns prev with the staleness of repaired cone clients
+// cleared, nil when nothing remains. gen is the generation of the snapshot the
+// repair measured against: a mark recorded at an earlier generation was
+// published before that snapshot existed, so the repair's measurement saw the
+// churn behind it and the row is genuinely healed. A cone client whose mark
+// carries gen or later was re-marked by churn that raced the repair's
+// measurement — its mark survives until its own queued repair commits. prev is
+// not modified.
+func ClearRepaired(prev map[prefs.Client]uint64, cone *Cone, gen uint64) map[prefs.Client]uint64 {
 	var out map[prefs.Client]uint64
 	for c, g := range prev {
-		if cone.Clients[c] {
+		if cone.Clients[c] && g < gen {
 			continue
 		}
 		if out == nil {

@@ -224,12 +224,42 @@ func TestMarkStaleAndClearRepaired(t *testing.T) {
 	if marked[30] != 0 || len(marked) != 2 {
 		t.Error("MarkStale mutated its input")
 	}
-	cleared := reconcile.ClearRepaired(marked2, cone)
+	cleared := reconcile.ClearRepaired(marked2, cone, 6)
 	if len(cleared) != 1 || cleared[30] != 5 {
 		t.Fatalf("cleared = %v", cleared)
 	}
-	if rest := reconcile.ClearRepaired(cleared, cone2); rest != nil {
+	if rest := reconcile.ClearRepaired(cleared, cone2, 6); rest != nil {
 		t.Fatalf("fully repaired staleness = %v, want nil", rest)
+	}
+
+	// A cone client whose mark is at (or after) the generation the repair
+	// measured against was re-churned while the repair ran: its mark must
+	// survive until its own queued repair commits, even though the client is
+	// in the repaired cone.
+	raced := reconcile.ClearRepaired(map[prefs.Client]uint64{10: 3, 20: 6}, cone, 6)
+	if len(raced) != 1 || raced[20] != 6 {
+		t.Fatalf("racing churn mark cleared: %v, want map[20:6]", raced)
+	}
+}
+
+// TestConeMergeLazyAlloc is the nil-map regression: a minimally-constructed
+// cone (as rebuilt by crash resume, which journals clients but no AS walk)
+// must be a valid Merge target.
+func TestConeMergeLazyAlloc(t *testing.T) {
+	dst := &reconcile.Cone{Clients: map[prefs.Client]bool{1: true}}
+	src := &reconcile.Cone{
+		Clients:  map[prefs.Client]bool{2: true},
+		ASes:     map[topology.ASN]bool{7: true},
+		Observed: 1,
+	}
+	dst.Merge(src)
+	if !dst.Clients[1] || !dst.Clients[2] || !dst.ASes[7] || dst.Observed != 1 {
+		t.Fatalf("merged cone = %+v", dst)
+	}
+	empty := &reconcile.Cone{}
+	empty.Merge(src)
+	if !empty.Clients[2] || !empty.ASes[7] {
+		t.Fatalf("merge into zero-value cone = %+v", empty)
 	}
 }
 
