@@ -76,6 +76,17 @@ func PaperScaleOptions() Options {
 	return o
 }
 
+// InternetScaleOptions sizes the synthetic Internet at ~100k ASes with a
+// power-law provider-degree distribution — the §4.5 extrapolation target.
+// Campaigns at this scale want the RTT heuristic (pairwise site experiments
+// are quadratic) and usually sharded discovery.
+func InternetScaleOptions() Options {
+	o := DefaultOptions()
+	o.Topology = topology.InternetParams()
+	o.UseRTTHeuristic = true
+	return o
+}
+
 // System is an anycast network under AnyOpt management.
 //
 // A System is not safe for concurrent mutation: RunDiscovery, campaign

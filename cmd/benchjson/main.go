@@ -8,6 +8,19 @@
 // allocs/op, and custom b.ReportMetric units), and derives experiments/s
 // for benchmarks that report an `experiments` metric. Output order follows
 // input order, so the document is deterministic for a fixed bench run.
+//
+// Guard mode compares a checked-in document against its predecessor instead
+// of reading stdin:
+//
+//	benchjson -guard BENCH_10.json
+//
+// finds the newest prior BENCH_<n>.json in the same directory that records
+// BenchmarkDiscoveryCampaign, and fails (exit 1) when any of the current
+// document's BenchmarkDiscoveryCampaign entries regressed ns/op by more
+// than -max-regress percent against the same entry (name and GOMAXPROCS)
+// there. `make bench-guard` wires this into `make check`, so a change that
+// slows the campaign hot path past the tolerance fails CI with both
+// numbers in the message.
 package main
 
 import (
@@ -17,6 +30,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,7 +61,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "write the JSON document to this file (default stdout)")
+	guard := flag.String("guard", "", "compare this BENCH document against its newest predecessor instead of reading stdin")
+	maxRegress := flag.Float64("max-regress", 15, "guard mode: max tolerated ns/op regression, percent")
 	flag.Parse()
+
+	if *guard != "" {
+		if err := runGuard(*guard, *maxRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var results []benchResult
 	// The testing package prints a benchmark's name before running it and
@@ -105,6 +129,140 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// guardBench is the benchmark family guard mode compares. It is the
+// campaign hot path: every store append, journal record, and probe
+// aggregation of a full discovery run is on it.
+const guardBench = "BenchmarkDiscoveryCampaign"
+
+// benchDoc mirrors the JSON document this command writes.
+type benchDoc struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func loadDoc(path string) (benchDoc, error) {
+	var doc benchDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// guardEntries extracts the guarded benchmark's results keyed by
+// name+procs.
+func guardEntries(doc benchDoc) map[string]benchResult {
+	out := make(map[string]benchResult)
+	for _, r := range doc.Benchmarks {
+		if r.Name == guardBench || strings.HasPrefix(r.Name, guardBench+"/") {
+			out[fmt.Sprintf("%s-%d", r.Name, r.Procs)] = r
+		}
+	}
+	return out
+}
+
+// baselineFor finds the newest BENCH_<n>.json in cur's directory with a
+// numeric suffix below cur's that records the guarded benchmark. Documents
+// predating the benchmark are skipped rather than failed: the guard only
+// bites once a baseline exists.
+func baselineFor(cur string) (string, benchDoc, error) {
+	dir := filepath.Dir(cur)
+	curN, ok := benchSuffix(filepath.Base(cur))
+	if !ok {
+		return "", benchDoc{}, fmt.Errorf("%s is not named BENCH_<n>.json", cur)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", benchDoc{}, err
+	}
+	bestN := -1
+	var bestPath string
+	var bestDoc benchDoc
+	for _, path := range names {
+		n, ok := benchSuffix(filepath.Base(path))
+		if !ok || n >= curN || n <= bestN {
+			continue
+		}
+		doc, err := loadDoc(path)
+		if err != nil {
+			return "", benchDoc{}, err
+		}
+		if len(guardEntries(doc)) == 0 {
+			continue
+		}
+		bestN, bestPath, bestDoc = n, path, doc
+	}
+	if bestN < 0 {
+		return "", benchDoc{}, nil
+	}
+	return bestPath, bestDoc, nil
+}
+
+// benchSuffix parses the <n> of BENCH_<n>.json.
+func benchSuffix(base string) (int, bool) {
+	s := strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+	if s == base || s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// runGuard fails when any guarded benchmark in cur regressed its ns/op by
+// more than maxRegress percent against the newest prior document.
+func runGuard(cur string, maxRegress float64) error {
+	curDoc, err := loadDoc(cur)
+	if err != nil {
+		return err
+	}
+	curEntries := guardEntries(curDoc)
+	if len(curEntries) == 0 {
+		return fmt.Errorf("%s records no %s results to guard", cur, guardBench)
+	}
+	basePath, baseDoc, err := baselineFor(cur)
+	if err != nil {
+		return err
+	}
+	if basePath == "" {
+		fmt.Printf("guard: no prior BENCH document records %s; nothing to compare\n", guardBench)
+		return nil
+	}
+	baseEntries := guardEntries(baseDoc)
+	keys := make([]string, 0, len(curEntries))
+	for key := range curEntries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	checked := 0
+	for _, key := range keys {
+		curR := curEntries[key]
+		baseR, ok := baseEntries[key]
+		if !ok {
+			continue // new sub-benchmark: no baseline yet
+		}
+		curNs, baseNs := curR.Metrics["ns/op"], baseR.Metrics["ns/op"]
+		if curNs <= 0 || baseNs <= 0 {
+			continue
+		}
+		checked++
+		pct := (curNs - baseNs) / baseNs * 100
+		if pct > maxRegress {
+			return fmt.Errorf("%s regressed %.1f%% (limit %.0f%%): %.0f ns/op in %s vs %.0f ns/op in %s",
+				key, pct, maxRegress, curNs, cur, baseNs, basePath)
+		}
+		fmt.Printf("guard: %s %+.1f%% vs %s (%.0f → %.0f ns/op) ok\n", key, pct, filepath.Base(basePath), baseNs, curNs)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no comparable %s entries between %s and %s", guardBench, cur, basePath)
+	}
+	return nil
 }
 
 // parseBenchLine parses one testing-package benchmark result line:

@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("topogen: ")
 	var (
-		scale   = flag.String("scale", "test", "topology scale: test or paper")
+		scale   = flag.String("scale", "test", "topology scale: test, paper, or internet")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		asJSON  = flag.Bool("json", false, "dump the topology as JSON to stdout")
 		withTB  = flag.Bool("testbed", false, "deploy the Table 1 testbed before reporting")
@@ -44,8 +44,11 @@ func main() {
 		}
 	} else {
 		params := topology.TestParams()
-		if *scale == "paper" {
+		switch *scale {
+		case "paper":
 			params = topology.DefaultParams()
+		case "internet":
+			params = topology.InternetParams()
 		}
 		params.Seed = *seed
 		var err error

@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"maps"
 
 	"anyopt"
 	"anyopt/internal/core/discovery"
@@ -64,6 +63,7 @@ func restoreStore(d storeDump) (*prefs.Store, error) {
 	if err := s.Restore(d.Relations); err != nil {
 		return nil, err
 	}
+	s.Compact()
 	return s, nil
 }
 
@@ -87,28 +87,13 @@ func Save(w io.Writer, sys *anyopt.System) error {
 // snapshot is frozen at publication, this is safe to call from any number of
 // goroutines — including concurrently with a discovery job publishing its
 // successor.
+//
+// The write streams straight off the columnar stores (see stream.go): peak
+// memory is one table row, not the whole nested-map export, and the bytes
+// are identical to what json.Encoder produced for the Snapshot struct in
+// earlier releases — stream_test.go holds the two encoders equal.
 func SaveSnapshot(w io.Writer, sn *anyopt.Snapshot) error {
-	snap := Snapshot{
-		Version:         FormatVersion,
-		Sites:           len(sn.TB.Sites),
-		UseRTTHeuristic: sn.Pred.UseRTTHeuristic,
-		AnnOrder:        append([]prefs.Item(nil), sn.AnnOrder...),
-		Providers:       dumpStore(sn.Pred.Providers),
-		RTT:             sn.RTT.Export(),
-		Experiments:     sn.Experiments,
-		Quarantined:     maps.Clone(sn.Quarantined),
-	}
-	if len(sn.Pred.Sites) > 0 {
-		snap.SiteStores = make(map[topology.ASN]storeDump, len(sn.Pred.Sites))
-		for prov, st := range sn.Pred.Sites {
-			if st != nil {
-				snap.SiteStores[prov] = dumpStore(st)
-			}
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(&snap)
+	return writeSnapshotStream(w, sn)
 }
 
 // Load restores discovery results from r into sys, replacing any previous

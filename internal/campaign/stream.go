@@ -1,0 +1,313 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"anyopt"
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/topology"
+)
+
+// This file streams a campaign snapshot to JSON without ever materializing
+// the nested-map Snapshot struct: the columnar stores are walked cell by
+// cell and encoded directly, so peak save memory is one table row instead of
+// the whole campaign. The emitted bytes are exactly what
+// json.Encoder.SetIndent("", " ") would produce for the Snapshot struct —
+// the differential test in stream_test.go pins that equivalence — so saved
+// files stay bit-compatible with every earlier release and with Load.
+//
+// Two encoding/json behaviors matter for byte-identity and are deliberately
+// reproduced here: map keys are sorted lexicographically as strings (site 10
+// sorts before site 2), and nil slices encode as null while empty non-nil
+// maps encode as {}.
+
+// streamEnc writes indented JSON with prefix "" and indent " ", the
+// campaign format. All writes funnel through it so the first error sticks.
+type streamEnc struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (e *streamEnc) raw(s string) {
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+// nl starts a new line at the given nesting depth (one space per level).
+func (e *streamEnc) nl(depth int) {
+	e.raw("\n")
+	for i := 0; i < depth; i++ {
+		e.raw(" ")
+	}
+}
+
+func (e *streamEnc) int64(v int64) { e.raw(strconv.FormatInt(v, 10)) }
+func (e *streamEnc) int(v int)     { e.int64(int64(v)) }
+
+func (e *streamEnc) bool(v bool) {
+	if v {
+		e.raw("true")
+	} else {
+		e.raw("false")
+	}
+}
+
+// str emits a JSON string with encoding/json's exact escaping (including
+// HTML escaping), via Marshal — strings are rare in the format (quarantine
+// reasons), so the per-value allocation is irrelevant.
+func (e *streamEnc) str(s string) {
+	b, err := json.Marshal(s)
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+	e.raw(string(b))
+}
+
+// items emits a []prefs.Item: null when nil-equivalent (empty), else one
+// number per line at depth+1.
+func (e *streamEnc) items(v []prefs.Item, depth int) {
+	if len(v) == 0 {
+		e.raw("null")
+		return
+	}
+	e.raw("[")
+	for i, it := range v {
+		if i > 0 {
+			e.raw(",")
+		}
+		e.nl(depth + 1)
+		e.int64(int64(it))
+	}
+	e.nl(depth)
+	e.raw("]")
+}
+
+// relation emits one DumpedRelation object at the given depth.
+func (e *streamEnc) relation(r prefs.DumpedRelation, depth int) {
+	e.raw("{")
+	e.nl(depth + 1)
+	e.raw(`"c": `)
+	e.int64(int64(r.Client))
+	e.raw(",")
+	e.nl(depth + 1)
+	e.raw(`"i": `)
+	e.int64(int64(r.I))
+	e.raw(",")
+	e.nl(depth + 1)
+	e.raw(`"j": `)
+	e.int64(int64(r.J))
+	e.raw(",")
+	e.nl(depth + 1)
+	e.raw(`"r": `)
+	e.int(int(r.Rel))
+	if r.Winner != 0 {
+		e.raw(",")
+		e.nl(depth + 1)
+		e.raw(`"w": `)
+		e.int64(int64(r.Winner))
+	}
+	e.nl(depth)
+	e.raw("}")
+}
+
+// store emits one storeDump object, streaming relations straight off the
+// columnar store.
+func (e *streamEnc) store(s *prefs.Store, depth int) {
+	e.raw("{")
+	e.nl(depth + 1)
+	e.raw(`"items": `)
+	e.items(s.Items(), depth+1)
+	e.raw(",")
+	e.nl(depth + 1)
+	e.raw(`"relations": `)
+	if s.NumRelations() == 0 {
+		e.raw("null")
+	} else {
+		e.raw("[")
+		first := true
+		s.ForEachRelation(func(r prefs.DumpedRelation) {
+			if !first {
+				e.raw(",")
+			}
+			first = false
+			e.nl(depth + 2)
+			e.relation(r, depth+2)
+		})
+		e.nl(depth + 1)
+		e.raw("]")
+	}
+	e.nl(depth)
+	e.raw("}")
+}
+
+// intKeys returns the decimal forms of ks sorted lexicographically — the
+// order encoding/json emits integer-keyed maps in — with idx mapping each
+// position back to the original slice.
+func intKeys(ks []int64) (names []string, idx []int) {
+	names = make([]string, len(ks))
+	idx = make([]int, len(ks))
+	for i, k := range ks {
+		names[i] = strconv.FormatInt(k, 10)
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return names[idx[a]] < names[idx[b]] })
+	sorted := make([]string, len(ks))
+	for i, j := range idx {
+		sorted[i] = names[j]
+	}
+	return sorted, idx
+}
+
+// rtt emits the site→client→ns table, one row in memory at a time.
+func (e *streamEnc) rtt(sn *anyopt.Snapshot, depth int) {
+	sites := sn.RTT.Sites()
+	if len(sites) == 0 {
+		e.raw("{}")
+		return
+	}
+	ks := make([]int64, len(sites))
+	for i, s := range sites {
+		ks[i] = int64(s)
+	}
+	names, idx := intKeys(ks)
+	e.raw("{")
+	for i, name := range names {
+		site := sites[idx[i]]
+		if i > 0 {
+			e.raw(",")
+		}
+		e.nl(depth + 1)
+		e.raw(`"` + name + `": `)
+		// One row: gather (client, ns) cells, re-sort by string key.
+		type rttCell struct {
+			c  prefs.Client
+			ns int64
+		}
+		var cells []rttCell
+		sn.RTT.SiteRTTs(site, func(c prefs.Client, ns int64) {
+			cells = append(cells, rttCell{c: c, ns: ns})
+		})
+		if len(cells) == 0 {
+			e.raw("{}")
+			continue
+		}
+		cks := make([]int64, len(cells))
+		for j, cell := range cells {
+			cks[j] = int64(cell.c)
+		}
+		cNames, cIdx := intKeys(cks)
+		e.raw("{")
+		for j, cn := range cNames {
+			if j > 0 {
+				e.raw(",")
+			}
+			e.nl(depth + 2)
+			e.raw(`"` + cn + `": `)
+			e.int64(cells[cIdx[j]].ns)
+		}
+		e.nl(depth + 1)
+		e.raw("}")
+	}
+	e.nl(depth)
+	e.raw("}")
+}
+
+// writeSnapshotStream is the streaming implementation behind SaveSnapshot.
+func writeSnapshotStream(w io.Writer, sn *anyopt.Snapshot) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	e := &streamEnc{w: bw}
+
+	e.raw("{")
+	e.nl(1)
+	e.raw(`"version": `)
+	e.int(FormatVersion)
+	e.raw(",")
+	e.nl(1)
+	e.raw(`"sites": `)
+	e.int(len(sn.TB.Sites))
+	e.raw(",")
+	e.nl(1)
+	e.raw(`"use_rtt_heuristic": `)
+	e.bool(sn.Pred.UseRTTHeuristic)
+	e.raw(",")
+	e.nl(1)
+	e.raw(`"ann_order": `)
+	e.items(sn.AnnOrder, 1)
+	e.raw(",")
+	e.nl(1)
+	e.raw(`"providers": `)
+	e.store(sn.Pred.Providers, 1)
+	e.raw(",")
+
+	var provs []topology.ASN
+	for p, st := range sn.Pred.Sites {
+		if st != nil {
+			provs = append(provs, p)
+		}
+	}
+	sort.Slice(provs, func(i, j int) bool { return provs[i] < provs[j] })
+	if len(provs) > 0 {
+		ks := make([]int64, len(provs))
+		for i, p := range provs {
+			ks[i] = int64(p)
+		}
+		names, idx := intKeys(ks)
+		e.nl(1)
+		e.raw(`"site_stores": {`)
+		for i, name := range names {
+			if i > 0 {
+				e.raw(",")
+			}
+			e.nl(2)
+			e.raw(`"` + name + `": `)
+			e.store(sn.Pred.Sites[provs[idx[i]]], 2)
+		}
+		e.nl(1)
+		e.raw("}")
+		e.raw(",")
+	}
+
+	e.nl(1)
+	e.raw(`"rtt": `)
+	e.rtt(sn, 1)
+	e.raw(",")
+	e.nl(1)
+	e.raw(`"experiments": `)
+	e.int(sn.Experiments)
+
+	if len(sn.Quarantined) > 0 {
+		qs := make([]int64, 0, len(sn.Quarantined))
+		for id := range sn.Quarantined {
+			qs = append(qs, int64(id))
+		}
+		sort.Slice(qs, func(a, b int) bool { return qs[a] < qs[b] })
+		names, idx := intKeys(qs)
+		e.raw(",")
+		e.nl(1)
+		e.raw(`"quarantined": {`)
+		for i, name := range names {
+			if i > 0 {
+				e.raw(",")
+			}
+			e.nl(2)
+			e.raw(`"` + name + `": `)
+			e.str(sn.Quarantined[int(qs[idx[i]])])
+		}
+		e.nl(1)
+		e.raw("}")
+	}
+
+	e.nl(0)
+	e.raw("}")
+	e.raw("\n")
+	if e.err != nil {
+		return fmt.Errorf("campaign: streaming snapshot: %w", e.err)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"maps"
+	"strings"
+	"testing"
+
+	"anyopt"
+	"anyopt/internal/core/prefs"
+	"anyopt/internal/topology"
+)
+
+// legacyMarshal is the pre-streaming SaveSnapshot: materialize the whole
+// nested-map Snapshot struct and hand it to json.Encoder. The streaming
+// encoder must reproduce these bytes exactly — that is the format contract.
+func legacyMarshal(t *testing.T, sn *anyopt.Snapshot) []byte {
+	t.Helper()
+	snap := Snapshot{
+		Version:         FormatVersion,
+		Sites:           len(sn.TB.Sites),
+		UseRTTHeuristic: sn.Pred.UseRTTHeuristic,
+		AnnOrder:        append([]prefs.Item(nil), sn.AnnOrder...),
+		Providers:       dumpStore(sn.Pred.Providers),
+		RTT:             sn.RTT.Export(),
+		Experiments:     sn.Experiments,
+		Quarantined:     maps.Clone(sn.Quarantined),
+	}
+	if len(sn.Pred.Sites) > 0 {
+		snap.SiteStores = make(map[topology.ASN]storeDump, len(sn.Pred.Sites))
+		for prov, st := range sn.Pred.Sites {
+			if st != nil {
+				snap.SiteStores[prov] = dumpStore(st)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&snap); err != nil {
+		t.Fatalf("legacy marshal: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func firstDiff(a, b []byte) (int, string, string) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+40, i+40
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return i, string(a[lo:hiA]), string(b[lo:hiB])
+		}
+	}
+	return n, "", ""
+}
+
+func assertStreamMatchesLegacy(t *testing.T, sn *anyopt.Snapshot) {
+	t.Helper()
+	want := legacyMarshal(t, sn)
+	var got bytes.Buffer
+	if err := SaveSnapshot(&got, sn); err != nil {
+		t.Fatalf("streaming save: %v", err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		off, a, b := firstDiff(want, got.Bytes())
+		t.Fatalf("stream bytes differ from legacy encoder at offset %d (lens %d vs %d)\nlegacy: %q\nstream: %q",
+			off, len(want), len(got.Bytes()), a, b)
+	}
+}
+
+// TestStreamMatchesLegacyFullCampaign runs a real campaign and checks the
+// streaming encoder against the legacy struct encoder byte for byte —
+// including site stores, quarantine-free RTT rows, and the announcement
+// order.
+func TestStreamMatchesLegacyFullCampaign(t *testing.T) {
+	sys := discovered(t)
+	sn := sys.CurrentSnapshot()
+	assertStreamMatchesLegacy(t, sn)
+}
+
+// TestStreamMatchesLegacyEdgeShapes drives the encoder corners the full
+// campaign never hits: key orders where string sorting diverges from numeric
+// (site 10 before 2), empty RTT rows, a quarantine map, no site stores, and
+// a nil announcement order.
+func TestStreamMatchesLegacyEdgeShapes(t *testing.T) {
+	sys := discovered(t)
+	base := sys.CurrentSnapshot()
+
+	t.Run("quarantined", func(t *testing.T) {
+		view := *base
+		//lint:mutinvariant view is a private struct copy; the published snapshot is untouched
+		view.Quarantined = map[int]string{
+			2:  "blackout <sim> & probe loss",
+			10: "operator pull",
+			1:  "no RTT responses",
+		}
+		assertStreamMatchesLegacy(t, &view)
+	})
+
+	t.Run("nil-ann-order-no-sites", func(t *testing.T) {
+		view := *base
+		pred := *base.Pred
+		pred.Sites = nil
+		//lint:mutinvariant view and pred are private struct copies; the published snapshot is untouched
+		view.Pred = &pred
+		view.AnnOrder = nil
+		assertStreamMatchesLegacy(t, &view)
+	})
+}
+
+// TestStreamLoadRoundTrip confirms Load accepts the streamed bytes and the
+// reloaded system re-streams to the identical file.
+func TestStreamLoadRoundTrip(t *testing.T) {
+	sys := discovered(t)
+	var first bytes.Buffer
+	if err := Save(&first, sys); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	sys2, errNew := anyopt.New(anyopt.DefaultOptions())
+	if errNew != nil {
+		t.Fatal(errNew)
+	}
+	if err := Load(strings.NewReader(first.String()), sys2); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	var second bytes.Buffer
+	if err := Save(&second, sys2); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("save→load→save not identical: %d vs %d bytes", first.Len(), second.Len())
+	}
+}

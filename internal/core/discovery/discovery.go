@@ -84,6 +84,20 @@ type Config struct {
 	// bugs.
 	FreshSims bool
 
+	// ShardLo/ShardHi, when ShardHi > 0, restrict fresh experiment execution
+	// to campaign nonces in the half-open range [ShardLo, ShardHi): an
+	// out-of-range experiment still consumes its nonce — keeping the
+	// deterministic schedule aligned with an unsharded campaign — but is
+	// skipped (zero result) instead of run, unless the journal already holds
+	// it, in which case it replays as usual. Shards of one campaign run as
+	// independent OS processes, each journaling its own nonce range to its
+	// own checkpoint file; merging the journals and replaying the schedule
+	// reproduces the single-process campaign byte for byte (see
+	// internal/campaign.MergeShardCheckpoints). Sharded campaigns must run
+	// fault-free: quarantine is cross-shard state no single shard can
+	// observe, so runBatch rejects the combination.
+	ShardLo, ShardHi uint64
+
 	// TargetFilter, when non-nil, restricts probing to targets whose client
 	// AS is in the set. Experiments still run the full BGP schedule (every
 	// announcement, every nonce), so routing state matches an unfiltered
@@ -539,46 +553,155 @@ func (d *Discovery) RunConfigurationRTTs(siteIDs []int) (map[prefs.Client]int, m
 	return r.Catchments, r.RTTs
 }
 
-// RTTTable holds site↔client RTTs from singleton experiments.
+// RTTTable holds site↔client RTTs from singleton experiments, columnar:
+// one sorted client-ID column shared by every site, plus one parallel value
+// column per site (RTT nanoseconds, rttMissing for unmeasured cells). Point
+// lookups binary-search both sorted columns; the whole table is a handful of
+// contiguous slabs, which is what lets an internet-scale campaign (100k
+// clients) fit under a fixed memory ceiling where the former
+// map[int]map[prefs.Client]time.Duration representation spent an order of
+// magnitude more on hash buckets and per-row map headers.
 type RTTTable struct {
-	bySite map[int]map[prefs.Client]time.Duration
+	// sites is the sorted site-ID column.
+	sites []int
+	// clients is the sorted client-ID column, the union across sites.
+	clients []prefs.Client
+	// cols[si][ci] is the RTT in nanoseconds from sites[si] to clients[ci],
+	// or rttMissing when that cell was never measured.
+	cols [][]int64
+	// counts[si] is the number of measured cells in cols[si].
+	counts []int
+}
+
+// rttMissing marks an unmeasured (site, client) cell. Real RTTs are
+// non-negative, so the sentinel can never collide with a measurement.
+const rttMissing int64 = -1
+
+// siteIdx binary-searches the site column; returns -1 when absent.
+func (t *RTTTable) siteIdx(site int) int {
+	i := sort.SearchInts(t.sites, site)
+	if i < len(t.sites) && t.sites[i] == site {
+		return i
+	}
+	return -1
+}
+
+// clientIdx binary-searches the client column; returns -1 when absent.
+func (t *RTTTable) clientIdx(c prefs.Client) int {
+	i := sort.Search(len(t.clients), func(k int) bool { return t.clients[k] >= c })
+	if i < len(t.clients) && t.clients[i] == c {
+		return i
+	}
+	return -1
 }
 
 // RTT returns the measured RTT between site and client.
 func (t *RTTTable) RTT(site int, c prefs.Client) (time.Duration, bool) {
-	m := t.bySite[site]
-	if m == nil {
+	si := t.siteIdx(site)
+	if si < 0 {
 		return 0, false
 	}
-	d, ok := m[c]
-	return d, ok
+	ci := t.clientIdx(c)
+	if ci < 0 {
+		return 0, false
+	}
+	ns := t.cols[si][ci]
+	if ns == rttMissing {
+		return 0, false
+	}
+	return time.Duration(ns), true
 }
 
-// Sites returns the site IDs present in the table.
-func (t *RTTTable) Sites() []int {
-	var out []int
-	for s := range t.bySite {
-		out = append(out, s)
-	}
-	sort.Ints(out)
-	return out
-}
+// Sites returns the site IDs present in the table, ascending.
+func (t *RTTTable) Sites() []int { return append([]int(nil), t.sites...) }
 
 // Clients returns the number of clients measured for the given site.
-func (t *RTTTable) Clients(site int) int { return len(t.bySite[site]) }
+func (t *RTTTable) Clients(site int) int {
+	si := t.siteIdx(site)
+	if si < 0 {
+		return 0
+	}
+	return t.counts[si]
+}
 
 // MeanUnicast returns the mean RTT from site to all measured clients — the
 // metric the paper's greedy baseline ranks sites by.
 func (t *RTTTable) MeanUnicast(site int) time.Duration {
-	m := t.bySite[site]
-	if len(m) == 0 {
+	si := t.siteIdx(site)
+	if si < 0 || t.counts[si] == 0 {
 		return 0
 	}
 	var sum time.Duration
-	for _, d := range m {
-		sum += d
+	for _, ns := range t.cols[si] {
+		if ns != rttMissing {
+			sum += time.Duration(ns)
+		}
 	}
-	return sum / time.Duration(len(m))
+	return sum / time.Duration(t.counts[si])
+}
+
+// SiteRTTs calls fn for every measured cell of the given site in ascending
+// client order — the streaming accessor campaign persistence serializes
+// through, one cell at a time.
+func (t *RTTTable) SiteRTTs(site int, fn func(c prefs.Client, ns int64)) {
+	si := t.siteIdx(site)
+	if si < 0 {
+		return
+	}
+	for ci, ns := range t.cols[si] {
+		if ns != rttMissing {
+			fn(t.clients[ci], ns)
+		}
+	}
+}
+
+// newRTTTableFromRows builds the columnar table from per-site measurement
+// rows (rows[i] belongs to siteIDs[i]). The client column is the sorted
+// union of every row's keys; sites keep every ID handed in, including sites
+// whose row came back empty (quarantined sites still occupy their column).
+func newRTTTableFromRows(siteIDs []int, rows []map[prefs.Client]time.Duration) *RTTTable {
+	order := make([]int, len(siteIDs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return siteIDs[order[a]] < siteIDs[order[b]] })
+
+	seen := make(map[prefs.Client]bool)
+	for _, row := range rows {
+		for c := range row {
+			seen[c] = true
+		}
+	}
+	clients := make([]prefs.Client, 0, len(seen))
+	for c := range seen {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(a, b int) bool { return clients[a] < clients[b] })
+
+	t := &RTTTable{
+		sites:   make([]int, len(siteIDs)),
+		clients: clients,
+		cols:    make([][]int64, len(siteIDs)),
+		counts:  make([]int, len(siteIDs)),
+	}
+	// All value columns share one backing slab: a single large allocation is
+	// page-rounded by the allocator, where per-column slabs each eat the gap
+	// to their size class — measurable bytes-per-client at campaign scale.
+	backing := make([]int64, len(siteIDs)*len(clients))
+	for i := range backing {
+		backing[i] = rttMissing
+	}
+	for si, oi := range order {
+		t.sites[si] = siteIDs[oi]
+		col := backing[si*len(clients) : (si+1)*len(clients) : (si+1)*len(clients)]
+		//lint:orderinvariant each key writes its own column cell; cells are disjoint, so visit order cannot matter
+		for c, d := range rows[oi] {
+			col[t.clientIdx(c)] = int64(d)
+		}
+		t.cols[si] = col
+		t.counts[si] = len(rows[oi])
+	}
+	return t
 }
 
 // MeasureRTTs runs one singleton experiment per site (§4.5 step 1): announce
@@ -594,12 +717,7 @@ func (d *Discovery) MeasureRTTs(siteIDs []int) (*RTTTable, error) {
 	})
 	d.Experiments += len(siteIDs)
 	d.detectDeadSites(siteIDs, rows)
-
-	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
-	for i, id := range siteIDs {
-		tbl.bySite[id] = rows[i]
-	}
-	return tbl, nil
+	return newRTTTableFromRows(siteIDs, rows), nil
 }
 
 // detectDeadSites quarantines sites whose singleton experiment produced no
@@ -676,12 +794,7 @@ func (d *Discovery) MeasureRTTsParallel(siteIDs []int) (*RTTTable, error) {
 		copy(rows[slot*nPrefixes:], group)
 	}
 	d.detectDeadSites(siteIDs, rows)
-
-	tbl := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(siteIDs))}
-	for i, id := range siteIDs {
-		tbl.bySite[id] = rows[i]
-	}
-	return tbl, nil
+	return newRTTTableFromRows(siteIDs, rows), nil
 }
 
 // Representatives picks the default representative site (lowest ID) for each
@@ -799,6 +912,7 @@ func (d *Discovery) ProviderPrefs(reps map[topology.ASN]int) (*prefs.Store, erro
 			}
 		}
 	}
+	store.Compact()
 	return store, nil
 }
 
@@ -835,6 +949,7 @@ func (d *Discovery) ProviderPrefsNaive(reps map[topology.ASN]int) (*prefs.Store,
 			}
 		}
 	}
+	store.Compact()
 	return store, nil
 }
 
@@ -871,6 +986,7 @@ func (d *Discovery) SitePrefs(provider topology.ASN) (*prefs.Store, error) {
 			}
 		}
 	}
+	store.Compact()
 	return store, nil
 }
 
@@ -901,6 +1017,7 @@ func (d *Discovery) NaiveSitePrefs(siteIDs []int) (*prefs.Store, error) {
 			}
 		}
 	}
+	store.Compact()
 	return store, nil
 }
 
@@ -958,33 +1075,129 @@ func (s Schedule) TotalDays() float64 {
 // patch, per site. Clients outside the cone keep their RTTs from t. Neither
 // input is modified — the result is a fresh copy-on-write table for
 // publication through PatchCampaign.
+//
+// When the cone selects no client of either table — the empty churn repair —
+// the receiver itself is returned instead of a deep copy; tables are
+// immutable once published, so sharing the receiver is as safe as sharing
+// the snapshot it came from.
 func (t *RTTTable) Patch(patch *RTTTable, cone func(prefs.Client) bool) *RTTTable {
-	out := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(t.bySite))}
-	for site, m := range t.bySite {
-		row := make(map[prefs.Client]time.Duration, len(m))
-		for c, d := range m {
-			if cone(c) {
-				continue
-			}
-			row[c] = d
+	hit := false
+	for _, c := range t.clients {
+		if cone(c) {
+			hit = true
+			break
 		}
-		for c, d := range patch.bySite[site] {
+	}
+	if !hit {
+		for _, c := range patch.clients {
 			if cone(c) {
-				row[c] = d
+				hit = true
+				break
 			}
 		}
-		out.bySite[site] = row
+	}
+	if !hit {
+		return t
+	}
+
+	// The merged client column: t's clients (cone clients survive only when
+	// patch re-measured them for some of t's sites) plus patch-only cone
+	// clients. Keeping a cone client of t that patch dropped would be
+	// harmless — its cells all become missing — but dropping it keeps the
+	// column equal to what a from-scratch campaign on the patched state
+	// would build, which the byte-identity tests rely on.
+	keep := make([]prefs.Client, 0, len(t.clients)+len(patch.clients))
+	ti, pi := 0, 0
+	for ti < len(t.clients) || pi < len(patch.clients) {
+		var c prefs.Client
+		switch {
+		case pi >= len(patch.clients):
+			c = t.clients[ti]
+			ti++
+		case ti >= len(t.clients):
+			c = patch.clients[pi]
+			pi++
+		case t.clients[ti] < patch.clients[pi]:
+			c = t.clients[ti]
+			ti++
+		case patch.clients[pi] < t.clients[ti]:
+			c = patch.clients[pi]
+			pi++
+		default:
+			c = t.clients[ti]
+			ti++
+			pi++
+		}
+		if !cone(c) {
+			// Non-cone clients come only from t; a patch-only non-cone
+			// client has no cell in any of t's sites.
+			if i := t.clientIdx(c); i >= 0 {
+				keep = append(keep, c)
+			}
+			continue
+		}
+		// Cone client: survives only through patch cells on t's sites.
+		pci := patch.clientIdx(c)
+		if pci < 0 {
+			continue
+		}
+		present := false
+		for _, site := range t.sites {
+			if psi := patch.siteIdx(site); psi >= 0 && patch.cols[psi][pci] != rttMissing {
+				present = true
+				break
+			}
+		}
+		if present {
+			keep = append(keep, c)
+		}
+	}
+
+	// keep was sized for the worst-case union; re-copy exact so the published
+	// snapshot carries no merge headroom.
+	keep = append(make([]prefs.Client, 0, len(keep)), keep...)
+	out := &RTTTable{
+		sites:   append([]int(nil), t.sites...),
+		clients: keep,
+		cols:    make([][]int64, len(t.sites)),
+		counts:  make([]int, len(t.sites)),
+	}
+	backing := make([]int64, len(t.sites)*len(keep))
+	for si, site := range out.sites {
+		col := backing[si*len(keep) : (si+1)*len(keep) : (si+1)*len(keep)]
+		psi := patch.siteIdx(site)
+		n := 0
+		for ci, c := range keep {
+			ns := rttMissing
+			if cone(c) {
+				if psi >= 0 {
+					if pci := patch.clientIdx(c); pci >= 0 {
+						ns = patch.cols[psi][pci]
+					}
+				}
+			} else if tci := t.clientIdx(c); tci >= 0 {
+				ns = t.cols[si][tci]
+			}
+			col[ci] = ns
+			if ns != rttMissing {
+				n++
+			}
+		}
+		out.cols[si] = col
+		out.counts[si] = n
 	}
 	return out
 }
 
 // Export serializes the table as site → client → RTT nanoseconds.
 func (t *RTTTable) Export() map[int]map[prefs.Client]int64 {
-	out := make(map[int]map[prefs.Client]int64, len(t.bySite))
-	for site, m := range t.bySite {
-		row := make(map[prefs.Client]int64, len(m))
-		for c, d := range m {
-			row[c] = int64(d)
+	out := make(map[int]map[prefs.Client]int64, len(t.sites))
+	for si, site := range t.sites {
+		row := make(map[prefs.Client]int64, t.counts[si])
+		for ci, ns := range t.cols[si] {
+			if ns != rttMissing {
+				row[t.clients[ci]] = ns
+			}
 		}
 		out[site] = row
 	}
@@ -993,13 +1206,18 @@ func (t *RTTTable) Export() map[int]map[prefs.Client]int64 {
 
 // ImportRTTTable rebuilds a table from Export's format.
 func ImportRTTTable(data map[int]map[prefs.Client]int64) *RTTTable {
-	t := &RTTTable{bySite: make(map[int]map[prefs.Client]time.Duration, len(data))}
-	for site, row := range data {
-		m := make(map[prefs.Client]time.Duration, len(row))
-		for c, ns := range row {
+	siteIDs := make([]int, 0, len(data))
+	for site := range data {
+		siteIDs = append(siteIDs, site)
+	}
+	sort.Ints(siteIDs)
+	rows := make([]map[prefs.Client]time.Duration, len(siteIDs))
+	for i, site := range siteIDs {
+		m := make(map[prefs.Client]time.Duration, len(data[site]))
+		for c, ns := range data[site] {
 			m[c] = time.Duration(ns)
 		}
-		t.bySite[site] = m
+		rows[i] = m
 	}
-	return t
+	return newRTTTableFromRows(siteIDs, rows)
 }

@@ -128,6 +128,13 @@ func sortedIntKeys[V any](m map[int]V) []int {
 // cancels the batch — in-flight experiments finish, queued ones never start
 // — and is surfaced through Err.
 func runBatch[T any](d *Discovery, kind string, n int, run func(e *Exp, i int) T) []T {
+	if d.sharded() && d.Cfg.Faults.Enabled() {
+		if d.runErr == nil {
+			d.runErr = fmt.Errorf(
+				"discovery: sharded campaigns cannot run with fault injection (quarantine is cross-shard state)")
+		}
+		return make([]T, n)
+	}
 	exps := make([]*Exp, n)
 	for i := range exps {
 		d.nonce++
@@ -182,6 +189,13 @@ func runExperiment[T any](d *Discovery, e *Exp, kind string, i int, run func(*Ex
 			}
 			return v, nil
 		}
+	}
+	// A sharded campaign runs only its own nonce range fresh; everything
+	// else is another shard's work. The nonce is already consumed (schedule
+	// stays aligned), the zero result feeds the shard's throwaway snapshot,
+	// and nothing is journaled — the merge replays the owning shard's entry.
+	if d.sharded() && !d.inShard(e.nonce) {
+		return zero, nil
 	}
 	v, err := runQuorum(d, e, i, run)
 	if err != nil {

@@ -1,0 +1,59 @@
+package discovery
+
+// Campaign sharding: the discovery schedule assigns nonces deterministically
+// in submission order, so a campaign of E experiments can be split into n
+// contiguous nonce ranges and each range run by an independent process. A
+// shard executes the full (cheap) planning path — every batch is submitted,
+// every nonce consumed — but only experiments inside its range actually run;
+// the rest short-circuit to zero results. Each shard journals its results to
+// its own checkpoint file; merging the files and replaying the schedule
+// through the journal reconstructs the single-process campaign byte for byte,
+// because every experiment is a pure function of its nonce and inputs.
+
+import (
+	"fmt"
+
+	"anyopt/internal/testbed"
+)
+
+// CampaignExperiments returns the number of experiments RunDiscovery submits
+// over tb — the length of the deterministic nonce schedule. The count is what
+// shard workers split into contiguous ranges, so it must mirror the schedule
+// exactly: one singleton RTT experiment per site, two order-controlled
+// experiments per transit-provider pair, and (unless the RTT heuristic
+// replaces them) one simultaneous experiment per site pair within each
+// multi-site provider. Valid only for fault-free campaigns: quarantine under
+// faults prunes representatives mid-schedule.
+func CampaignExperiments(tb *testbed.Testbed, useRTTHeuristic bool) int {
+	total := len(tb.Sites)
+	providers := tb.TransitProviders()
+	p := len(providers)
+	total += p * (p - 1) // both orders of every provider pair
+	if !useRTTHeuristic {
+		for _, pASN := range providers {
+			if s := len(tb.SitesOfTransit(pASN)); s >= 2 {
+				total += s * (s - 1) / 2
+			}
+		}
+	}
+	return total
+}
+
+// ShardRange splits a campaign of total experiments into n contiguous nonce
+// ranges and returns the half-open range [lo, hi) owned by 0-based shard i.
+// Nonces are 1-based (runBatch pre-increments), ranges cover 1..total exactly
+// once, and sizes differ by at most one.
+func ShardRange(total, i, n int) (lo, hi uint64) {
+	if n <= 0 || i < 0 || i >= n {
+		panic(fmt.Sprintf("discovery: shard %d of %d", i, n))
+	}
+	return uint64(1 + i*total/n), uint64(1 + (i+1)*total/n)
+}
+
+// sharded reports whether the campaign is restricted to a shard range.
+func (d *Discovery) sharded() bool { return d.Cfg.ShardHi > 0 }
+
+// inShard reports whether the nonce falls in this process's shard range.
+func (d *Discovery) inShard(nonce uint64) bool {
+	return nonce >= d.Cfg.ShardLo && nonce < d.Cfg.ShardHi
+}

@@ -1,9 +1,6 @@
 package prefs
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // DumpedRelation is one (client, pair) relation in exportable form.
 type DumpedRelation struct {
@@ -15,30 +12,56 @@ type DumpedRelation struct {
 	Winner Item `json:"w,omitempty"`
 }
 
-// Dump exports every recorded relation, in canonical (client, pair) order,
-// for persistence. The order is sorted by client — not first-record order —
-// so two stores holding the same relations dump byte-identically even when
-// their clients were recorded in different sequences (a full campaign vs. a
-// cone-scoped repair that re-recorded only part of the client set).
-func (s *Store) Dump() []DumpedRelation {
-	clients := append([]Client(nil), s.clientOrder...)
-	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
-	var out []DumpedRelation
-	for _, c := range clients {
-		cp := s.clients[c]
+// ForEachRelation calls fn for every recorded relation in canonical
+// (client, pair) order — clients ascending (the order of the sorted client
+// column), pairs in item order. It is the streaming backbone of Dump and of
+// campaign persistence: one relation is materialized at a time, so a caller
+// serializing an internet-scale store never holds the full relation list in
+// memory.
+func (s *Store) ForEachRelation(fn func(DumpedRelation)) {
+	for row, c := range s.keys {
+		base := row * s.nPairs
 		for a := 0; a < len(s.items); a++ {
 			for b := a + 1; b < len(s.items); b++ {
-				pr := cp.rel[s.pairIdx(a, b)]
-				if pr.rel == RelUnknown {
+				p := s.pairIdx(a, b)
+				rel := s.rels[base+p]
+				if rel == RelUnknown {
 					continue
 				}
-				out = append(out, DumpedRelation{
+				var winner Item
+				if rel == RelStrict {
+					winner = s.items[s.winIdx[base+p]]
+				}
+				fn(DumpedRelation{
 					Client: c, I: s.items[a], J: s.items[b],
-					Rel: pr.rel, Winner: pr.winner,
+					Rel: rel, Winner: winner,
 				})
 			}
 		}
 	}
+}
+
+// NumRelations returns the number of recorded relations — the length of the
+// slice Dump would build — without materializing it.
+func (s *Store) NumRelations() int {
+	n := 0
+	for _, rel := range s.rels {
+		if rel != RelUnknown {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump exports every recorded relation, in canonical (client, pair) order,
+// for persistence. Clients are emitted ascending — the natural order of the
+// sorted client column — so two stores holding the same relations dump
+// byte-identically even when their clients were recorded in different
+// sequences (a full campaign vs. a cone-scoped repair that re-recorded only
+// part of the client set).
+func (s *Store) Dump() []DumpedRelation {
+	var out []DumpedRelation
+	s.ForEachRelation(func(r DumpedRelation) { out = append(out, r) })
 	return out
 }
 
@@ -57,18 +80,20 @@ func (s *Store) Restore(rels []DumpedRelation) error {
 		if ii == jj {
 			return fmt.Errorf("prefs: restore with degenerate pair (%d, %d)", r.I, r.J)
 		}
+		winnerIdx := -1
 		switch r.Rel {
 		case RelStrict:
 			if r.Winner != r.I && r.Winner != r.J {
 				return fmt.Errorf("prefs: restore winner %d not in pair (%d, %d)", r.Winner, r.I, r.J)
 			}
+			winnerIdx = s.index[r.Winner]
 		case RelEqual:
 			// no winner
 		default:
 			return fmt.Errorf("prefs: restore with relation %v", r.Rel)
 		}
-		cp := s.client(r.Client)
-		cp.rel[s.pairIdx(ii, jj)] = pairRel{rel: r.Rel, winner: r.Winner}
+		row := s.ensureClient(r.Client)
+		s.set(row, s.pairIdx(ii, jj), r.Rel, winnerIdx)
 	}
 	return nil
 }

@@ -11,6 +11,12 @@ import "fmt"
 // the reconciler publish it through PatchCampaign without ever exposing a
 // half-repaired row.
 //
+// When the cone selects no client of either store — the empty-repair case a
+// churn reconciler hits when a routing delta's cone misses the measured
+// client set entirely — the receiver itself is returned instead of a deep
+// copy. Stores are immutable once published, so sharing the receiver is
+// exactly as safe as sharing the snapshot it came from.
+//
 // patch must share s's exact item universe, since relation rows are indexed
 // by item position.
 func (s *Store) PatchClients(patch *Store, cone func(Client) bool) (*Store, error) {
@@ -22,37 +28,58 @@ func (s *Store) PatchClients(patch *Store, cone func(Client) bool) (*Store, erro
 			return nil, fmt.Errorf("prefs: patch item %d is %d, base has %d", i, patch.items[i], it)
 		}
 	}
+	for _, c := range patch.keys {
+		if !cone(c) {
+			return nil, fmt.Errorf("prefs: patch holds client %d outside the cone", c)
+		}
+	}
+	if len(patch.keys) == 0 {
+		hit := false
+		for _, c := range s.keys {
+			if cone(c) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return s, nil
+		}
+	}
 	out := &Store{
-		items:   append([]Item(nil), s.items...),
-		index:   make(map[Item]int, len(s.items)),
-		clients: make(map[Client]*ClientPrefs),
+		items:  append([]Item(nil), s.items...),
+		index:  make(map[Item]int, len(s.items)),
+		nPairs: s.nPairs,
 	}
 	for i, it := range out.items {
 		out.index[it] = i
 	}
-	copyRow := func(c Client, from *ClientPrefs) {
-		cp := out.client(c)
-		copy(cp.rel, from.rel)
+	// Merge the two sorted client columns: outside the cone rows come from
+	// s; inside it they come from patch (or are dropped when patch lacks
+	// them). Appends stay in ascending order, so every row lands via the
+	// O(1) tail path.
+	appendRow := func(c Client, src *Store, row int) {
+		dst := out.ensureClient(c)
+		copy(out.rels[dst*out.nPairs:(dst+1)*out.nPairs], src.rels[row*src.nPairs:(row+1)*src.nPairs])
+		copy(out.winIdx[dst*out.nPairs:(dst+1)*out.nPairs], src.winIdx[row*src.nPairs:(row+1)*src.nPairs])
 	}
-	// Base clients first (preserving base insertion order), then patch-only
-	// clients. Dump() sorts by client, so this order never reaches the
-	// serialized form; it only keeps iteration deterministic.
-	for _, c := range s.clientOrder {
-		if cone(c) {
-			if row := patch.clients[c]; row != nil {
-				copyRow(c, row)
+	si, pi := 0, 0
+	for si < len(s.keys) || pi < len(patch.keys) {
+		switch {
+		case pi >= len(patch.keys) || (si < len(s.keys) && s.keys[si] < patch.keys[pi]):
+			c := s.keys[si]
+			if !cone(c) {
+				appendRow(c, s, si)
 			}
-			continue
-		}
-		copyRow(c, s.clients[c])
-	}
-	for _, c := range patch.clientOrder {
-		if !cone(c) {
-			return nil, fmt.Errorf("prefs: patch holds client %d outside the cone", c)
-		}
-		if out.clients[c] == nil {
-			copyRow(c, patch.clients[c])
+			si++
+		case si >= len(s.keys) || patch.keys[pi] < s.keys[si]:
+			appendRow(patch.keys[pi], patch, pi)
+			pi++
+		default: // same client in both: cone already vetted patch's clients
+			appendRow(patch.keys[pi], patch, pi)
+			si++
+			pi++
 		}
 	}
+	out.Compact()
 	return out, nil
 }

@@ -11,6 +11,19 @@
 // (the arrival-order tie-breaker of §4.2). "Naive" experiments that announce
 // simultaneously collapse this distinction and record whatever won, which is
 // why they manufacture cyclic preferences (Figure 4).
+//
+// The store is columnar (struct-of-arrays): one sorted client-ID column and
+// two flat relation columns shared by every client, indexed row-major as
+// rels[clientRow*NumPairs+pairIdx]. Point lookups binary-search the client
+// column; recording appends in O(1) because campaigns enumerate clients in
+// ascending order per experiment (discovery's sortedClients discipline), so
+// the sorted column grows at the tail. Compared to the former
+// map[Client]*ClientPrefs backing, a client row costs 3 bytes per pair
+// (1-byte relation + 2-byte winner index) in two contiguous slabs instead of
+// a map entry, a heap-allocated struct, and a 16-byte-per-pair slice — the
+// layout internet-scale campaigns (100k clients) need to stay in cache and
+// under memory ceilings. Campaign builders call Compact once recording ends,
+// trimming append-growth slack before the store is published.
 package prefs
 
 import (
@@ -51,27 +64,33 @@ func (r Relation) String() string {
 	}
 }
 
-// pairRel stores one client's relation for one pair.
-type pairRel struct {
-	rel Relation
-	// winner is meaningful for RelStrict only.
-	winner Item
-}
-
-// ClientPrefs holds one client's pairwise relations over the store's items.
+// ClientPrefs is a view of one client's row in the store's relation columns.
+// Views are positional: a view stays valid across appends of later clients,
+// but recording an out-of-order client (which shifts rows) invalidates
+// previously obtained views — callers record first, then read.
 type ClientPrefs struct {
 	store *Store
-	// rel is indexed by flattened (min,max) pair index.
-	rel []pairRel
+	idx   int
 }
 
-// Store collects pairwise preferences for a fixed item universe.
+// Store collects pairwise preferences for a fixed item universe, columnar:
+// keys is the sorted client-ID column; rels and winIdx are parallel flat
+// relation columns of len(keys)*NumPairs() cells each.
 type Store struct {
-	items []Item
-	index map[Item]int
-	// clients in insertion order for deterministic iteration.
-	clientOrder []Client
-	clients     map[Client]*ClientPrefs
+	items  []Item
+	index  map[Item]int
+	nPairs int
+	// keys holds every recorded client, ascending.
+	keys []Client
+	// rels[row*nPairs+p] is client keys[row]'s relation for pair p.
+	rels []Relation
+	// winIdx[row*nPairs+p] is the item index of the strict winner; read
+	// only when the relation is RelStrict. uint16 bounds the item universe
+	// at 65536 — enforced by NewStore, and far beyond any testbed.
+	winIdx []uint16
+	// views[i] is the ClientPrefs view for row i; views[i].idx == i always,
+	// so Get can return a stable pointer without allocating per call.
+	views []ClientPrefs
 }
 
 // NewStore creates a store over the given items. Items must be distinct.
@@ -79,11 +98,14 @@ func NewStore(items []Item) (*Store, error) {
 	if len(items) < 1 {
 		return nil, fmt.Errorf("prefs: store needs at least one item")
 	}
-	s := &Store{
-		items:   append([]Item(nil), items...),
-		index:   make(map[Item]int, len(items)),
-		clients: make(map[Client]*ClientPrefs),
+	if len(items) > 1<<16 {
+		return nil, fmt.Errorf("prefs: item universe of %d exceeds the %d limit", len(items), 1<<16)
 	}
+	s := &Store{
+		items: append([]Item(nil), items...),
+		index: make(map[Item]int, len(items)),
+	}
+	s.nPairs = len(s.items) * (len(s.items) - 1) / 2
 	for i, it := range s.items {
 		if _, dup := s.index[it]; dup {
 			return nil, fmt.Errorf("prefs: duplicate item %d", it)
@@ -96,12 +118,15 @@ func NewStore(items []Item) (*Store, error) {
 // Items returns the item universe.
 func (s *Store) Items() []Item { return append([]Item(nil), s.items...) }
 
-// Clients returns all clients with any recorded preference, in first-record
-// order.
-func (s *Store) Clients() []Client { return append([]Client(nil), s.clientOrder...) }
+// Clients returns all clients with any recorded preference, ascending.
+func (s *Store) Clients() []Client { return append([]Client(nil), s.keys...) }
+
+// NumClients returns the number of recorded clients without copying the
+// client column.
+func (s *Store) NumClients() int { return len(s.keys) }
 
 // NumPairs returns the number of unordered item pairs.
-func (s *Store) NumPairs() int { return len(s.items) * (len(s.items) - 1) / 2 }
+func (s *Store) NumPairs() int { return s.nPairs }
 
 // pairIdx flattens an unordered index pair (a < b).
 func (s *Store) pairIdx(a, b int) int {
@@ -112,19 +137,116 @@ func (s *Store) pairIdx(a, b int) int {
 	return a*(2*n-a-1)/2 + (b - a - 1)
 }
 
-// client returns (creating) the per-client table.
-func (s *Store) client(c Client) *ClientPrefs {
-	cp := s.clients[c]
-	if cp == nil {
-		cp = &ClientPrefs{store: s, rel: make([]pairRel, s.NumPairs())}
-		s.clients[c] = cp
-		s.clientOrder = append(s.clientOrder, c)
+// findClient binary-searches the client column; returns (row, true) when c
+// is recorded.
+func (s *Store) findClient(c Client) (int, bool) {
+	i := sort.Search(len(s.keys), func(k int) bool { return s.keys[k] >= c })
+	if i < len(s.keys) && s.keys[i] == c {
+		return i, true
 	}
-	return cp
+	return i, false
 }
 
-// Get returns the per-client table, or nil if the client was never recorded.
-func (s *Store) Get(c Client) *ClientPrefs { return s.clients[c] }
+// ensureClient returns c's row, creating it when absent. Appending past the
+// current maximum client is O(1) amortized — the campaign's common case;
+// an out-of-order insert shifts the columns.
+func (s *Store) ensureClient(c Client) int {
+	n := len(s.keys)
+	if n > 0 && s.keys[n-1] == c {
+		return n - 1
+	}
+	if n == 0 || s.keys[n-1] < c {
+		s.keys = append(s.keys, c)
+		s.grow()
+		return n
+	}
+	i, ok := s.findClient(c)
+	if ok {
+		return i
+	}
+	s.keys = append(s.keys, 0)
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = c
+	s.grow()
+	base := i * s.nPairs
+	copy(s.rels[base+s.nPairs:], s.rels[base:])
+	copy(s.winIdx[base+s.nPairs:], s.winIdx[base:])
+	for p := 0; p < s.nPairs; p++ {
+		s.rels[base+p] = RelUnknown
+	}
+	return i
+}
+
+// grow extends the relation columns and the view table by one row.
+func (s *Store) grow() {
+	if cap(s.rels) < len(s.rels)+s.nPairs {
+		// Grow all columns together so one client append reallocates at
+		// most once per column.
+		nr := make([]Relation, len(s.rels), (cap(s.rels)+s.nPairs)*2)
+		copy(nr, s.rels)
+		s.rels = nr
+		nw := make([]uint16, len(s.winIdx), (cap(s.winIdx)+s.nPairs)*2)
+		copy(nw, s.winIdx)
+		s.winIdx = nw
+	}
+	s.rels = s.rels[:len(s.rels)+s.nPairs]
+	s.winIdx = s.winIdx[:len(s.winIdx)+s.nPairs]
+	for p := len(s.rels) - s.nPairs; p < len(s.rels); p++ {
+		s.rels[p] = RelUnknown
+		s.winIdx[p] = 0
+	}
+	s.views = append(s.views, ClientPrefs{store: s, idx: len(s.views)})
+}
+
+// Compact trims the append-growth slack off every column, shrinking the
+// store to exactly its recorded rows. Campaign builders call it once after
+// bulk recording, before the store is published into an immutable snapshot;
+// at internet scale the doubling slack is a third of the store, so trimming
+// it is what keeps the measured bytes/client at the columnar floor.
+// Recording remains legal afterwards — the next append just reallocates.
+func (s *Store) Compact() {
+	if cap(s.keys) == len(s.keys) && cap(s.rels) == len(s.rels) &&
+		cap(s.winIdx) == len(s.winIdx) && cap(s.views) == len(s.views) {
+		return
+	}
+	s.keys = append(make([]Client, 0, len(s.keys)), s.keys...)
+	s.rels = append(make([]Relation, 0, len(s.rels)), s.rels...)
+	s.winIdx = append(make([]uint16, 0, len(s.winIdx)), s.winIdx...)
+	views := make([]ClientPrefs, len(s.views))
+	for i := range views {
+		views[i] = ClientPrefs{store: s, idx: i}
+	}
+	s.views = views
+}
+
+// Get returns the per-client view, or nil if the client was never recorded.
+func (s *Store) Get(c Client) *ClientPrefs {
+	i, ok := s.findClient(c)
+	if !ok {
+		return nil
+	}
+	return &s.views[i]
+}
+
+// at returns the (relation, winner) cell for the given row and pair index.
+func (s *Store) at(row, pair int) (Relation, Item) {
+	off := row*s.nPairs + pair
+	r := s.rels[off]
+	if r != RelStrict {
+		return r, 0
+	}
+	return r, s.items[s.winIdx[off]]
+}
+
+// set writes one cell. winner must already be validated as an item index
+// holder; pass winnerIdx < 0 for non-strict relations.
+func (s *Store) set(row, pair int, rel Relation, winnerIdx int) {
+	off := row*s.nPairs + pair
+	s.rels[off] = rel
+	if winnerIdx >= 0 {
+		s.winIdx[off] = uint16(winnerIdx)
+	}
+}
 
 // RecordOrdered stores the outcome of the two order-controlled experiments
 // for pair (i, j): winnerIFirst is the client's catchment when i was
@@ -147,16 +269,16 @@ func (s *Store) RecordOrdered(c Client, i, j Item, winnerIFirst, winnerJFirst It
 			return fmt.Errorf("prefs: winner %d not in pair (%d, %d)", w, i, j)
 		}
 	}
-	cp := s.client(c)
+	row := s.ensureClient(c)
 	idx := s.pairIdx(ii, jj)
 	switch {
 	case winnerIFirst == winnerJFirst:
-		cp.rel[idx] = pairRel{rel: RelStrict, winner: winnerIFirst}
+		s.set(row, idx, RelStrict, s.index[winnerIFirst])
 	default:
 		// The winner flipped with the announcement order (whichever
 		// direction): the client is indifferent and route age decides
 		// (§4.2: "otherwise ... it has equivalent preferences").
-		cp.rel[idx] = pairRel{rel: RelEqual}
+		s.set(row, idx, RelEqual, -1)
 	}
 	return nil
 }
@@ -178,21 +300,21 @@ func (s *Store) RecordSimultaneous(c Client, i, j, winner Item) error {
 	if winner != i && winner != j {
 		return fmt.Errorf("prefs: winner %d not in pair (%d, %d)", winner, i, j)
 	}
-	cp := s.client(c)
-	cp.rel[s.pairIdx(ii, jj)] = pairRel{rel: RelStrict, winner: winner}
+	row := s.ensureClient(c)
+	s.set(row, s.pairIdx(ii, jj), RelStrict, s.index[winner])
 	return nil
 }
 
 // Relation returns the recorded relation for pair (i, j) and, for RelStrict,
 // the winning item.
 func (cp *ClientPrefs) Relation(i, j Item) (Relation, Item) {
-	ii, ok1 := cp.store.index[i]
-	jj, ok2 := cp.store.index[j]
+	s := cp.store
+	ii, ok1 := s.index[i]
+	jj, ok2 := s.index[j]
 	if !ok1 || !ok2 || ii == jj {
 		return RelUnknown, 0
 	}
-	pr := cp.rel[cp.store.pairIdx(ii, jj)]
-	return pr.rel, pr.winner
+	return s.at(cp.idx, s.pairIdx(ii, jj))
 }
 
 // Complete reports whether every pair over the given items has a recorded
@@ -323,16 +445,16 @@ func (cp *ClientPrefs) HasTotalOrder(announce []Item) bool {
 // FracWithTotalOrder returns the fraction of recorded clients having a total
 // order over the given announcement order.
 func (s *Store) FracWithTotalOrder(announce []Item) float64 {
-	if len(s.clientOrder) == 0 {
+	if len(s.keys) == 0 {
 		return 0
 	}
 	n := 0
-	for _, c := range s.clientOrder {
-		if s.clients[c].HasTotalOrder(announce) {
+	for i := range s.keys {
+		if s.views[i].HasTotalOrder(announce) {
 			n++
 		}
 	}
-	return float64(n) / float64(len(s.clientOrder))
+	return float64(n) / float64(len(s.keys))
 }
 
 // BestAnnouncementOrder searches announcement orders of the items and returns

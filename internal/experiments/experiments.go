@@ -24,9 +24,10 @@ type Env struct {
 	discovered bool
 }
 
-// NewEnv builds the experiment environment. scale is "test" (fast, CI-sized)
-// or "paper" (thousands of client networks, as the evaluation should be
-// read).
+// NewEnv builds the experiment environment. scale is "test" (fast,
+// CI-sized), "paper" (thousands of client networks, as the evaluation
+// should be read), or "internet" (~100k ASes with power-law attachment, the
+// scale the columnar stores and sharded campaigns exist for).
 func NewEnv(scale string, seed int64) (*Env, error) {
 	var opts anyopt.Options
 	switch scale {
@@ -34,6 +35,8 @@ func NewEnv(scale string, seed int64) (*Env, error) {
 		opts = anyopt.DefaultOptions()
 	case "paper":
 		opts = anyopt.PaperScaleOptions()
+	case "internet":
+		opts = anyopt.InternetScaleOptions()
 	default:
 		return nil, fmt.Errorf("experiments: unknown scale %q", scale)
 	}

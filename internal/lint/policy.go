@@ -62,6 +62,22 @@ var DefaultPolicies = []PolicyRule{
 	{"anyopt/internal/netsim", simPure},
 	{"anyopt/internal/core/...", simPure},
 
+	// The columnar campaign stores — the preference matrix in core/prefs and
+	// the RTT table in core/discovery — are pinned here explicitly (the
+	// core/... rule already covers them) because their contract is the
+	// strictest in the repo: snapshot contents must be byte-identical across
+	// worker counts, shard counts and store layouts, so any map-order leak
+	// or entropy source in them invalidates the campaign determinism proofs.
+	{"anyopt/internal/core/prefs", simPure},
+	{"anyopt/internal/core/discovery", simPure},
+
+	// Campaign persistence and shard coordination: streaming snapshot
+	// serialization and checkpoint journals must be byte-deterministic (the
+	// shard merge proof rests on it), so the package holds no entropy and no
+	// goroutines of its own — shard parallelism lives in separate OS
+	// processes, not in-process concurrency.
+	{"anyopt/internal/campaign", simPure},
+
 	// Seeded-RNG owners: these construct their own rand.New(NewSource(seed))
 	// — topology generation, SPLPO's randomized search, probe noise — so they
 	// get sim without the outright rand ban.

@@ -52,6 +52,18 @@ type Params struct {
 	// AnyOpt closes over the greedy baseline.
 	RemoteAttachProb float64
 
+	// AttachCandidates, when > 0, switches stub→transit attachment from
+	// exhaustive inverse-distance weighting (O(NumTransit) per stub) to
+	// sampled preferential attachment: each stub draws this many candidates
+	// from a pool in which every transit appears once per customer link it
+	// has already won, then picks nearest-weighted among just those
+	// candidates. Early winners keep winning, so provider degrees converge
+	// to the power-law (heavy-tailed) distribution measured on the real
+	// Internet, and per-stub cost drops to O(AttachCandidates) — the only
+	// way a ~100k-AS topology generates in seconds. Zero keeps the
+	// exhaustive path (test/paper scales, byte-identical to older releases).
+	AttachCandidates int
+
 	// FracMultipath is the fraction of transit ASes that load-share across
 	// equal-cost BGP routes (per-flow), one of the paper's sources of
 	// inconsistent preference orders (§4.2).
@@ -102,6 +114,25 @@ func TestParams() Params {
 	return p
 }
 
+// InternetParams returns the ~100k-AS tier: tier-1/transit/stub ratios
+// follow the real Internet's shape (a dozen tier-1s, a few thousand transit
+// networks, everything else stub), stub attachment uses sampled preferential
+// attachment so provider degrees come out power-law (heavy-tailed, as
+// anycast CDN client-volume studies measure), and lateral transit peering is
+// thinned to keep the link count linear in the AS count.
+func InternetParams() Params {
+	p := DefaultParams()
+	p.NumTier1 = 12
+	p.NumTransit = 2400
+	p.NumStub = 97500
+	p.AttachCandidates = 24
+	// At 2400 transits the O(NumTransit²) peering sweep stays cheap, but the
+	// default acceptance probability would mint ~150k lateral peerings;
+	// thin it so the peer-link count stays proportional to the AS count.
+	p.TransitPeerProb = 0.008
+	return p
+}
+
 // Validate checks parameter sanity.
 func (p Params) Validate() error {
 	switch {
@@ -119,6 +150,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("topology: StubProvidersMax = %d, need >= 1", p.StubProvidersMax)
 	case p.TransitProvidersMax < 1:
 		return fmt.Errorf("topology: TransitProvidersMax = %d, need >= 1", p.TransitProvidersMax)
+	case p.AttachCandidates < 0:
+		return fmt.Errorf("topology: AttachCandidates = %d, need >= 0", p.AttachCandidates)
 	case p.FracMultipath < 0 || p.FracMultipath > 1:
 		return fmt.Errorf("topology: FracMultipath = %v out of [0,1]", p.FracMultipath)
 	case p.FracDeviant < 0 || p.FracDeviant > 1:
@@ -265,6 +298,10 @@ func genTransits(t *Topology, p Params, rng *rand.Rand) []*AS {
 // occasionally directly to a tier-1.
 func genStubs(t *Topology, p Params, rng *rand.Rand, transits []*AS) {
 	t1s := t.byTier(TierT1)
+	var sampler *prefAttach
+	if p.AttachCandidates > 0 {
+		sampler = newPrefAttach(transits)
+	}
 	for i := 0; i < p.NumStub; i++ {
 		city := geo.Cities[rng.Intn(len(geo.Cities))]
 		// Jitter the location so stubs in the same metro differ slightly.
@@ -277,7 +314,13 @@ func genStubs(t *Topology, p Params, rng *rand.Rand, transits []*AS) {
 		a.Multipath = rng.Float64() < p.FracMultipath
 
 		nProv := 1 + rng.Intn(p.StubProvidersMax)
-		for _, prov := range pickNearestWeighted(rng, transits, c, nProv) {
+		var provs []*AS
+		if sampler != nil {
+			provs = sampler.pick(rng, c, nProv, p.AttachCandidates)
+		} else {
+			provs = pickNearestWeighted(rng, transits, c, nProv)
+		}
+		for _, prov := range provs {
 			pp := attachPoP(t, rng, prov, c, p.RemoteAttachProb)
 			t.AddLink(a.ASN, prov.ASN, CustomerProvider, -1, pp)
 		}
@@ -287,6 +330,45 @@ func genStubs(t *Topology, p Params, rng *rand.Rand, transits []*AS) {
 			t.AddLink(a.ASN, prov.ASN, CustomerProvider, -1, pp)
 		}
 	}
+}
+
+// prefAttach samples stub providers by preferential attachment: the pool
+// holds one entry per transit plus one per customer link it has won, so a
+// draw lands on a transit with probability proportional to 1 + its customer
+// degree. Repeatedly feeding winners back into the pool is the classic
+// rich-get-richer process whose stationary degree distribution is a power
+// law — the heavy tail anycast client-volume studies measure — and each
+// draw is O(1), independent of the transit count.
+type prefAttach struct {
+	pool []*AS
+}
+
+func newPrefAttach(transits []*AS) *prefAttach {
+	return &prefAttach{pool: append([]*AS(nil), transits...)}
+}
+
+// pick draws k distinct degree-weighted candidates, then chooses n of them
+// by the same inverse-distance weighting the exhaustive path uses, and
+// feeds the winners back into the pool.
+func (pa *prefAttach) pick(rng *rand.Rand, c geo.Coord, n, k int) []*AS {
+	if k < n {
+		k = n
+	}
+	seen := make(map[ASN]bool, k)
+	cands := make([]*AS, 0, k)
+	// Bounded rejection: pool entries repeat, so distinct candidates can
+	// run out before k draws; 4k draws finds what is findable.
+	for tries := 0; len(cands) < k && tries < 4*k; tries++ {
+		a := pa.pool[rng.Intn(len(pa.pool))]
+		if !seen[a.ASN] {
+			seen[a.ASN] = true
+			cands = append(cands, a)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ASN < cands[j].ASN })
+	out := pickNearestWeighted(rng, cands, c, n)
+	pa.pool = append(pa.pool, out...)
+	return out
 }
 
 // markDeviants flags a fraction of non-tier-1 ASes as policy-deviant: they
